@@ -1,0 +1,16 @@
+"""Shared benchmark configuration.
+
+Every figure bench regenerates its figure at the sizes below.  The two
+underlying sweeps (case 1 / case 2) are memoised per process (see
+:mod:`repro.experiments.cache`): the first bench touching a case pays for
+its sweep; the rest measure their own extraction + rendering.  Benches
+print the regenerated figure so the bench log doubles as the results
+record (EXPERIMENTS.md quotes it).
+
+``BENCH_N = 1024`` reaches the paper's case-1 height h = 6 while keeping
+the whole bench suite under a couple of minutes.
+"""
+
+BENCH_N = 1024
+BENCH_SEED = 42
+BENCH_LOOKUPS = 200

@@ -1,0 +1,16 @@
+"""Legacy shim for environments without PEP-517 wheel support."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "TreeP: a tree-based P2P network architecture (CLUSTER 2005) — "
+        "full reproduction"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

@@ -1,0 +1,37 @@
+"""repro — a full reproduction of *TreeP: A Tree Based P2P Network
+Architecture* (Hudzia, Kechadi, Ottewill — CLUSTER 2005).
+
+Public surface:
+
+* :class:`~repro.core.treep.TreePNetwork` — build and drive a TreeP overlay.
+* :class:`~repro.core.config.TreePConfig` — all tunables; presets for the
+  paper's two experimental cases.
+* :class:`~repro.core.lookup.LookupAlgorithm` — G / NG / NGSA.
+* :mod:`repro.services` — DHT, resource discovery and load balancing on top
+  of the overlay.
+* :mod:`repro.baselines` — Chord and flooding comparators on the same
+  simulated substrate.
+* :mod:`repro.experiments` — one runner per figure of the paper's §IV.
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.core.capacity import CapacityDistribution, NodeCapacity
+from repro.core.config import TreePConfig
+from repro.core.ids import IdSpace
+from repro.core.lookup import LookupAlgorithm, LookupResult
+from repro.core.treep import TreePNetwork
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CapacityDistribution",
+    "IdSpace",
+    "LookupAlgorithm",
+    "LookupResult",
+    "NodeCapacity",
+    "TreePConfig",
+    "TreePNetwork",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Comparator overlays on the same simulated substrate.
+
+The paper positions TreeP against the structured-DHT family (Chord, CAN,
+Pastry, …) and the unstructured flooders (Gnutella/Kazaa) in §I-II.  To make
+those comparisons runnable, this package implements:
+
+* :mod:`repro.baselines.chord` — Chord with finger tables and successor
+  lists, message-driven lookups, and the same failure harness as TreeP.
+* :mod:`repro.baselines.random_graph` — a degree-``k`` random overlay.
+* :mod:`repro.baselines.flood` — Gnutella-style TTL-limited flooding on the
+  random overlay.
+
+All three run on :mod:`repro.sim`, so hop counts, message counts and
+failure behaviour are directly comparable with TreeP's.
+"""
+
+from repro.baselines.chord import ChordNetwork
+from repro.baselines.flood import FloodNetwork
+from repro.baselines.random_graph import random_overlay
+
+__all__ = ["ChordNetwork", "FloodNetwork", "random_overlay"]

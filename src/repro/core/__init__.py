@@ -1,0 +1,37 @@
+"""TreeP core: the paper's primary contribution.
+
+The overlay is built from the bottom up:
+
+* :mod:`repro.core.ids` — the 1-D ID space and ID assignment strategies.
+* :mod:`repro.core.capacity` — heterogeneous node capability vectors and the
+  scalar capacity score consumed by elections and variable-``nc``.
+* :mod:`repro.core.tessellation` — 1-D Voronoi cells over level buses.
+* :mod:`repro.core.distance` — the tessellation-aware metric ``D(a, b)``.
+* :mod:`repro.core.routing_table` — the six per-node tables with timestamps.
+* :mod:`repro.core.messages` — every datagram type of the protocol.
+* :mod:`repro.core.node` — the per-node protocol engine.
+* :mod:`repro.core.hierarchy` — elections, promotion, demotion.
+* :mod:`repro.core.maintenance` — keep-alives and delta synchronisation.
+* :mod:`repro.core.lookup` — the G / NG / NGSA routing algorithms.
+* :mod:`repro.core.treep` — :class:`~repro.core.treep.TreePNetwork`, the
+  public orchestration API.
+"""
+
+from repro.core.capacity import CapacityDistribution, NodeCapacity
+from repro.core.config import TreePConfig
+from repro.core.distance import treep_distance
+from repro.core.ids import IdSpace, assign_ids
+from repro.core.lookup import LookupAlgorithm, LookupResult
+from repro.core.treep import TreePNetwork
+
+__all__ = [
+    "CapacityDistribution",
+    "IdSpace",
+    "LookupAlgorithm",
+    "LookupResult",
+    "NodeCapacity",
+    "TreePConfig",
+    "TreePNetwork",
+    "assign_ids",
+    "treep_distance",
+]

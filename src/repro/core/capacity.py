@@ -1,0 +1,153 @@
+"""Heterogeneous node capability model.
+
+The paper promotes nodes on "CPU, Memory, Bandwidth, network load, systems
+load, Uptime and Storage Space" (§III.a) and sizes election countdowns and
+the variable maximum-children parameter from the same characteristics.  This
+module defines the capability vector, the scalar **capacity score** those
+mechanisms consume, and samplers producing realistic heterogeneous
+populations (log-normal bandwidth, discrete CPU classes, Pareto uptime — the
+shapes reported by the P2P measurement studies the paper cites).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class NodeCapacity:
+    """Static capabilities plus slowly-varying load of one peer.
+
+    Units are normalised: ``cpu`` in abstract cores, ``memory_gb`` /
+    ``storage_gb`` in GB, ``bandwidth_mbps`` in Mbit/s, ``uptime_hours`` the
+    node's historical mean session length, loads in ``[0, 1]``.
+    """
+
+    cpu: float = 1.0
+    memory_gb: float = 1.0
+    bandwidth_mbps: float = 10.0
+    storage_gb: float = 50.0
+    uptime_hours: float = 10.0
+    cpu_load: float = 0.0
+    net_load: float = 0.0
+
+    def __post_init__(self) -> None:
+        if min(self.cpu, self.memory_gb, self.bandwidth_mbps, self.storage_gb) <= 0:
+            raise ValueError("cpu, memory, bandwidth and storage must be > 0")
+        if self.uptime_hours <= 0:
+            raise ValueError("uptime_hours must be > 0")
+        for name in ("cpu_load", "net_load"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {v}")
+
+    # ------------------------------------------------------------- scoring
+    def score(self) -> float:
+        """Scalar capacity in ``(0, +inf)``; higher is better.
+
+        Geometric mean of log-scaled resources, discounted by current load.
+        The geometric mean keeps any single huge resource from dominating
+        (a fat pipe on a loaded CPU should not win every election).
+        """
+        resources = np.array(
+            [
+                np.log1p(self.cpu),
+                np.log1p(self.memory_gb),
+                np.log1p(self.bandwidth_mbps),
+                np.log1p(self.storage_gb),
+                np.log1p(self.uptime_hours),
+            ]
+        )
+        gmean = float(np.exp(np.mean(np.log(resources + 1e-9))))
+        load_penalty = (1.0 - 0.5 * self.cpu_load) * (1.0 - 0.5 * self.net_load)
+        return gmean * load_penalty
+
+    def with_load(self, cpu_load: float | None = None, net_load: float | None = None) -> "NodeCapacity":
+        """Copy with updated load figures."""
+        return replace(
+            self,
+            cpu_load=self.cpu_load if cpu_load is None else cpu_load,
+            net_load=self.net_load if net_load is None else net_load,
+        )
+
+    # ------------------------------------------------- protocol quantities
+    def max_children(self, floor: int = 2, ceiling: int = 8, pivot: float = 2.2) -> int:
+        """Variable-``nc``: children this node can parent (paper case 2).
+
+        Maps the score onto ``[floor, ceiling]`` with *pivot* the score that
+        earns the midpoint.  Monotone in the score.
+        """
+        if floor < 2:
+            raise ValueError("a parent must support at least 2 children")
+        if ceiling < floor:
+            raise ValueError(f"ceiling {ceiling} < floor {floor}")
+        s = self.score()
+        frac = s / (s + pivot)  # in (0, 1), 0.5 at s == pivot
+        return int(round(floor + frac * (ceiling - floor)))
+
+    def promotion_countdown(self, base: float = 1.0, rng: np.random.Generator | None = None) -> float:
+        """Election countdown: *higher* capacity → *shorter* countdown (§III.b).
+
+        A small random jitter (up to 10%) breaks exact-score ties without
+        materially changing the ordering.
+        """
+        jitter = 1.0 + (0.1 * float(rng.random()) if rng is not None else 0.0)
+        return base * jitter / (1.0 + self.score())
+
+    def demotion_countdown(self, base: float = 1.0, rng: np.random.Generator | None = None) -> float:
+        """Under-filled-parent countdown: *higher* capacity → *longer* wait.
+
+        Powerful parents linger, giving the system time to route new
+        children to them before they abdicate (§III.b).
+        """
+        jitter = 1.0 + (0.1 * float(rng.random()) if rng is not None else 0.0)
+        return base * jitter * (1.0 + self.score())
+
+
+class CapacityDistribution:
+    """Sampler of heterogeneous capability vectors.
+
+    The defaults model a mixed desktop/server population:
+
+    * CPU: discrete classes {1, 2, 4, 8, 16} with a skew towards small.
+    * Memory: 2**U(0, 6) GB.
+    * Bandwidth: log-normal (median ~10 Mbit/s, long upper tail).
+    * Storage: log-normal around ~100 GB.
+    * Uptime: Pareto (most sessions short, a stable core very long).
+    * Loads: Beta(2, 5) — mostly lightly loaded.
+    """
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self.rng = rng
+
+    def sample(self) -> NodeCapacity:
+        r = self.rng
+        cpu = float(r.choice([1, 2, 4, 8, 16], p=[0.35, 0.3, 0.2, 0.1, 0.05]))
+        memory = float(2.0 ** r.uniform(0, 6))
+        bandwidth = float(np.exp(r.normal(np.log(10.0), 1.0)))
+        storage = float(np.exp(r.normal(np.log(100.0), 0.8)))
+        uptime = float((r.pareto(1.5) + 1.0) * 2.0)
+        cpu_load = float(r.beta(2, 5))
+        net_load = float(r.beta(2, 5))
+        return NodeCapacity(
+            cpu=cpu,
+            memory_gb=memory,
+            bandwidth_mbps=bandwidth,
+            storage_gb=storage,
+            uptime_hours=uptime,
+            cpu_load=cpu_load,
+            net_load=net_load,
+        )
+
+    def sample_many(self, count: int) -> List[NodeCapacity]:
+        if count <= 0:
+            raise ValueError(f"count must be > 0, got {count}")
+        return [self.sample() for _ in range(count)]
+
+
+def uniform_capacity() -> NodeCapacity:
+    """A homogeneous default, handy in unit tests."""
+    return NodeCapacity()

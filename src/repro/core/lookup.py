@@ -1,0 +1,338 @@
+"""The G / NG / NGSA routing algorithms of §III.f.
+
+The router is *pure decision logic*: given a node-local view (its routing
+table and hierarchy knowledge) and an in-flight :class:`LookupRequest`, it
+returns a :class:`Decision`.  The protocol engine (:mod:`repro.core.node`)
+executes decisions by sending datagrams; tests exercise the router directly
+with synthetic views.
+
+Algorithms
+----------
+* **G (greedy, Fig. 3)** — pick the candidate minimising the tessellation
+  distance ``D(n, x)``.  Forward when the *halving criterion*
+  ``D(n, x) <= D(a, x) / 2`` holds, when the current node is at level 0, or
+  when the request is descending from a parent; otherwise escalate through
+  the superior-node list (closest superior satisfying the criterion, else
+  the highest-level superior).  Not loop-free — the TTL cap backstops it.
+* **NG (non-greedy)** — take the *first* candidate strictly closer to the
+  target in Euclidean distance ("the procedure ends when a node satisfying
+  the condition is found").
+* **NGSA (non-greedy with fall back)** — NG, but the other improving
+  candidates are appended to the request as alternates; a dead end pops the
+  best alternate instead of failing ("at the expense of adding data to the
+  request").
+
+TTL semantics (§III.f): requests above ``ttl_max`` (255) are discarded;
+requests whose TTL exceeds the hierarchy height switch to plain Euclidean
+distance — "a request that has a higher TTL means that the network is
+unstable and/or disrupted".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Protocol, Sequence, Tuple
+
+from repro.core.config import TreePConfig
+from repro.core.distance import halving_criterion, treep_distance
+from repro.core.ids import IdSpace
+from repro.core.messages import LookupRequest
+from repro.core.routing_table import Entry, RoutingTable
+
+
+class LookupAlgorithm(str, enum.Enum):
+    """The three routing algorithms evaluated in §IV."""
+
+    GREEDY = "G"
+    NON_GREEDY = "NG"
+    NON_GREEDY_FALLBACK = "NGSA"
+
+    @classmethod
+    def parse(cls, name: str) -> "LookupAlgorithm":
+        for algo in cls:
+            if algo.value == name or algo.name == name:
+                return algo
+        raise ValueError(f"unknown lookup algorithm {name!r}")
+
+
+class NodeView(Protocol):
+    """What the router may see: strictly node-local state."""
+
+    ident: int
+    max_level: int
+    table: RoutingTable
+    height: int  # node's current estimate of the hierarchy height
+    config: TreePConfig
+
+
+class DecisionKind(enum.Enum):
+    FOUND = "found"
+    FORWARD = "forward"
+    NOT_FOUND = "not-found"
+    DISCARD = "discard"
+
+
+@dataclass(frozen=True)
+class Decision:
+    """Outcome of one local routing step."""
+
+    kind: DecisionKind
+    next_hop: Optional[int] = None
+    resolved: Optional[int] = None
+    alternates: Tuple[int, ...] = ()
+
+    @staticmethod
+    def found(resolved: int) -> "Decision":
+        return Decision(DecisionKind.FOUND, resolved=resolved)
+
+    @staticmethod
+    def forward(next_hop: int, alternates: Tuple[int, ...] = ()) -> "Decision":
+        return Decision(DecisionKind.FORWARD, next_hop=next_hop, alternates=alternates)
+
+    @staticmethod
+    def not_found() -> "Decision":
+        return Decision(DecisionKind.NOT_FOUND)
+
+    @staticmethod
+    def discard() -> "Decision":
+        return Decision(DecisionKind.DISCARD)
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """Origin-side outcome of one lookup, consumed by the harness."""
+
+    request_id: int
+    origin: int
+    target: int
+    algo: LookupAlgorithm
+    found: bool
+    hops: int
+    timed_out: bool = False
+    path: Tuple[int, ...] = ()
+
+
+# --------------------------------------------------------------------------
+# candidate enumeration
+# --------------------------------------------------------------------------
+
+def _metric(view: NodeView, entry_id: int, entry_level: int, target: int, euclid: bool) -> float:
+    space = view.config.space
+    if euclid:
+        return float(space.distance(entry_id, target))
+    return treep_distance(space, entry_id, entry_level, target, view.height)
+
+
+def _level_zero_candidates(view: NodeView, exclude: frozenset[int]) -> List[Entry]:
+    """``Search_Level_Zero()``: children and level-0 neighbourhood only."""
+    t = view.table
+    ids = set(t.level0) | set(t.children) | set(t.neighbour_children)
+    return [t.get(i) for i in sorted(ids) if i not in exclude and t.get(i) is not None]  # type: ignore[misc]
+
+
+def _full_candidates(
+    view: NodeView, exclude: frozenset[int], target: Optional[int] = None
+) -> List[Entry]:
+    """``Search_level_A()``: the node's whole routing table.
+
+    Deterministic order, table priority as implicit in Fig. 3: children
+    first (descending the tree resolves fastest), then the same-level buses
+    from the highest level down, parents, superiors, and the level-0
+    neighbours last (they are the smallest possible steps along the line).
+    Within a group, candidates are ordered by distance to *target* when
+    given — this is what lets NG's "first improving candidate" rule achieve
+    the logarithmic hop counts the paper reports: the scan meets the big
+    tessellation jumps before the single-neighbour shuffles.
+    """
+    t = view.table
+    space = view.config.space
+
+    def by_target(ids) -> List[int]:
+        ids = [i for i in ids if i not in exclude]
+        if target is None:
+            return sorted(ids)
+        return sorted(ids, key=lambda i: (space.distance(i, target), i))
+
+    ordered: List[int] = []
+    seen: set[int] = set()
+    for group in (
+        by_target(t.children),
+        by_target(t.neighbour_children),
+        *(by_target(t.level_tables.get(l, ())) for l in sorted(t.level_tables, reverse=True)),
+        by_target(set(t.parents.values())),
+        by_target(t.superiors),
+        by_target(t.level0),
+    ):
+        for i in group:
+            if i not in seen:
+                seen.add(i)
+                ordered.append(i)
+    return [t.get(i) for i in ordered if t.get(i) is not None]  # type: ignore[misc]
+
+
+# --------------------------------------------------------------------------
+# the router
+# --------------------------------------------------------------------------
+
+def route(view: NodeView, req: LookupRequest) -> Decision:
+    """One local routing step for *req* at *view* (Fig. 3 and variants).
+
+    The decision never uses non-local knowledge: only the node's own routing
+    table, its level, and fields carried by the request.
+    """
+    cfg = view.config
+    if req.ttl > cfg.ttl_max:
+        return Decision.discard()
+
+    # "IF target X is in the routing table THEN transmit back the result".
+    if req.target == view.ident:
+        return Decision.found(view.ident)
+    if view.table.knows(req.target):
+        return Decision.found(req.target)
+
+    # Disruption mode: beyond the hierarchy height, fall back to Euclidean.
+    euclid = cfg.euclidean_fallback and req.ttl > view.height
+
+    exclude = frozenset(req.path) | {view.ident}
+    algo = LookupAlgorithm.parse(req.algo)
+    if algo is LookupAlgorithm.GREEDY:
+        return _route_greedy(view, req, exclude, euclid)
+    return _route_non_greedy(view, req, exclude, euclid,
+                             with_fallback=algo is LookupAlgorithm.NON_GREEDY_FALLBACK)
+
+
+def _route_greedy(
+    view: NodeView, req: LookupRequest, exclude: frozenset[int], euclid: bool
+) -> Decision:
+    cfg = view.config
+    space = cfg.space
+    from_level1_parent = req.from_parent_level == 1 and view.max_level == 0
+
+    if from_level1_parent:
+        cands = _level_zero_candidates(view, exclude)
+    else:
+        cands = _full_candidates(view, exclude)
+
+    best: Optional[Entry] = None
+    best_d = float("inf")
+    for e in cands:
+        d = _metric(view, e.ident, e.max_level, req.target, euclid)
+        if d < best_d:
+            best, best_d = e, d
+
+    d_here = _metric(view, view.ident, view.max_level, req.target, euclid)
+
+    if best is not None:
+        # Fig. 3's forwarding cascade.
+        if from_level1_parent:
+            return Decision.forward(best.ident)
+        if halving_criterion(best_d, d_here):
+            return Decision.forward(best.ident)
+        if view.max_level == 0:
+            return Decision.forward(best.ident)
+        if req.from_parent_level == view.max_level + 1:
+            # Query descending from our own parent: keep descending.
+            return Decision.forward(best.ident)
+        esc = _escalate(view, req, exclude, euclid, d_here)
+        if esc is not None:
+            return Decision.forward(esc)
+        child = _closest_child(view, req.target, exclude)
+        if child is not None:
+            return Decision.forward(child)
+        return Decision.not_found()
+
+    # No candidate at all (every known peer already visited).
+    if from_level1_parent:
+        return Decision.not_found()
+    child = _closest_child(view, req.target, exclude)
+    if child is not None:
+        return Decision.forward(child)
+    esc = _escalate(view, req, exclude, euclid, d_here)
+    if esc is not None:
+        return Decision.forward(esc)
+    return Decision.not_found()
+
+
+def _closest_child(view: NodeView, target: int, exclude: frozenset[int]) -> Optional[int]:
+    """Fig. 3's ``Closest_Child(X)``: descend towards the target's cell.
+
+    Used when no candidate halves the distance and escalation has nowhere
+    to go — in particular at the root, whose own ``D`` to everything is 0,
+    making the halving criterion unsatisfiable: the only sensible move for
+    an interior node is down the subtree covering the target.
+    """
+    t = view.table
+    kids = [i for i in (t.children | t.neighbour_children) if i not in exclude]
+    if not kids:
+        return None
+    space = view.config.space
+    return min(kids, key=lambda i: (space.distance(i, target), i))
+
+
+def _escalate(
+    view: NodeView,
+    req: LookupRequest,
+    exclude: frozenset[int],
+    euclid: bool,
+    d_here: float,
+) -> Optional[int]:
+    """Superior-node-list escalation (Fig. 3, both ELSE branches).
+
+    Prefer the superior closest to the target that satisfies the halving
+    criterion; failing that, the superior with the highest level.
+    """
+    t = view.table
+    superiors = [i for i in t.superiors | set(t.parents.values()) if i not in exclude]
+    if not superiors:
+        return None
+    best_id: Optional[int] = None
+    best_d = float("inf")
+    for i in superiors:
+        e = t.get(i)
+        lvl = e.max_level if e is not None else 1
+        d = _metric(view, i, lvl, req.target, euclid)
+        if halving_criterion(d, d_here) and d < best_d:
+            best_id, best_d = i, d
+    if best_id is not None:
+        return best_id
+    # None halves the distance: highest-level superior.
+    def level_of(i: int) -> int:
+        e = t.get(i)
+        return e.max_level if e is not None else 0
+
+    return max(superiors, key=lambda i: (level_of(i), -view.config.space.distance(i, req.target)))
+
+
+def _route_non_greedy(
+    view: NodeView,
+    req: LookupRequest,
+    exclude: frozenset[int],
+    euclid: bool,
+    with_fallback: bool,
+) -> Decision:
+    space = view.config.space
+    d_here = float(space.distance(view.ident, req.target))
+    improving: List[int] = []
+    for e in _full_candidates(view, exclude, target=req.target):
+        if float(space.distance(e.ident, req.target)) < d_here:
+            improving.append(e.ident)
+            if not with_fallback:
+                # NG: first improving candidate ends the search.
+                return Decision.forward(e.ident)
+            if len(improving) >= 4:  # bound the per-hop payload growth
+                break
+
+    if improving:
+        # NGSA: forward to the first, carry the rest as alternates.
+        return Decision.forward(improving[0], alternates=tuple(improving[1:]))
+
+    if with_fallback:
+        # Dead end: consume the nearest alternate accumulated upstream.
+        live_alts = [a for a in req.alternates if a not in exclude]
+        if live_alts:
+            nxt = min(live_alts, key=lambda a: space.distance(a, req.target))
+            rest = tuple(a for a in live_alts if a != nxt)
+            return Decision.forward(nxt, alternates=rest)
+
+    return Decision.not_found()

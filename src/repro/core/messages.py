@@ -1,0 +1,316 @@
+"""Datagram payloads of the TreeP protocol.
+
+Every message is a small frozen dataclass with an approximate ``wire_size``
+(bytes) so the network layer can account control-plane overhead.  Sizes
+follow the paper's entry format — an entry is ``(ID, IP, Port)`` plus
+metadata, ~16 bytes on the wire.
+
+Message families:
+
+* **Bootstrap / join** — :class:`Hello`, :class:`HelloAck`, :class:`JoinRequest`,
+  :class:`JoinRedirect`, :class:`JoinAccept`.
+* **Maintenance** — :class:`KeepAlive`, :class:`KeepAliveAck`,
+  :class:`ChildReport` (child → parent heartbeat; §III.a "if they do not
+  report regularly they will simply be deleted").
+* **Hierarchy** — :class:`ElectionStart`, :class:`ParentClaim`,
+  :class:`ParentAnnounce`, :class:`PromoteGrant`, :class:`Demote`.
+* **Lookup** — :class:`LookupRequest`, :class:`LookupReply`.
+* **Services** — :class:`DhtPut`, :class:`DhtGet`, :class:`DhtValue`
+  (key/value layer), :class:`ResourceQuery`, :class:`ResourceHit`
+  (discovery layer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+EntryTuple = Tuple[int, int, float, int, float]  # (id, max_level, score, nc, last_seen)
+
+_ENTRY_BYTES = 16
+_HEADER_BYTES = 28  # UDP/IP header + message tag
+
+
+def _entries_size(entries: Tuple[EntryTuple, ...]) -> int:
+    return _HEADER_BYTES + _ENTRY_BYTES * len(entries)
+
+
+# --------------------------------------------------------------- bootstrap
+@dataclass(frozen=True)
+class Hello:
+    """First contact: §III.d — exchange resources and state."""
+
+    max_level: int
+    score: float
+    nc: int
+
+    wire_size: int = _HEADER_BYTES + 12
+
+
+@dataclass(frozen=True)
+class HelloAck:
+    max_level: int
+    score: float
+    nc: int
+
+    wire_size: int = _HEADER_BYTES + 12
+
+
+@dataclass(frozen=True)
+class JoinRequest:
+    """A joining node asks *dst* to place it on level 0."""
+
+    joiner: int
+    score: float
+    nc: int
+
+    wire_size: int = _HEADER_BYTES + 12
+
+
+@dataclass(frozen=True)
+class JoinRedirect:
+    """Forwarded join: *closer* is nearer the joiner's ID."""
+
+    joiner: int
+    closer: int
+
+    wire_size: int = _HEADER_BYTES + 8
+
+
+@dataclass(frozen=True)
+class JoinAccept:
+    """Placement result: the joiner's level-0 neighbours and parent."""
+
+    left: Optional[int]
+    right: Optional[int]
+    parent: Optional[int]
+
+    wire_size: int = _HEADER_BYTES + 12
+
+
+@dataclass(frozen=True)
+class Splice:
+    """Level-0 bus splice: *joiner* now sits between *left* and *right*.
+
+    Sent by the accepting node to the displaced neighbours so they update
+    their level-0 links to point at the joiner.
+    """
+
+    joiner: int
+    left: Optional[int]
+    right: Optional[int]
+
+    wire_size: int = _HEADER_BYTES + 12
+
+
+# -------------------------------------------------------------- maintenance
+@dataclass(frozen=True)
+class KeepAlive:
+    """Periodic liveness probe carrying a piggybacked delta (§III.d)."""
+
+    entries: Tuple[EntryTuple, ...] = ()
+    since: float = 0.0
+
+    @property
+    def wire_size(self) -> int:
+        return _entries_size(self.entries)
+
+
+@dataclass(frozen=True)
+class KeepAliveAck:
+    entries: Tuple[EntryTuple, ...] = ()
+
+    @property
+    def wire_size(self) -> int:
+        return _entries_size(self.entries)
+
+
+@dataclass(frozen=True)
+class ChildReport:
+    """Child → parent heartbeat with current load/score."""
+
+    child: int
+    score: float
+    max_level: int
+
+    wire_size: int = _HEADER_BYTES + 12
+
+
+# ---------------------------------------------------------------- hierarchy
+@dataclass(frozen=True)
+class ElectionStart:
+    """A node with degree >= 2 and no parent triggers an election (§III.b)."""
+
+    level: int
+    initiator: int
+
+    wire_size: int = _HEADER_BYTES + 8
+
+
+@dataclass(frozen=True)
+class ParentClaim:
+    """Countdown winner announces itself parent to the electorate."""
+
+    level: int  # the level the winner now occupies (electorate level + 1)
+    winner: int
+    score: float
+
+    wire_size: int = _HEADER_BYTES + 12
+
+
+@dataclass(frozen=True)
+class ParentAnnounce:
+    """Parent → child adoption notice with the parent's ancestry.
+
+    ``superiors`` seeds the child's superior-node list (Figure 2).
+    """
+
+    level: int
+    parent: int
+    superiors: Tuple[int, ...] = ()
+
+    @property
+    def wire_size(self) -> int:
+        return _HEADER_BYTES + 8 + 8 * len(self.superiors)
+
+
+@dataclass(frozen=True)
+class PromoteGrant:
+    """Parent promotes *child* to its own level (cell overflow split)."""
+
+    child: int
+    to_level: int
+
+    wire_size: int = _HEADER_BYTES + 8
+
+
+@dataclass(frozen=True)
+class Demote:
+    """An under-filled parent abdicates level *level* (§III.b)."""
+
+    node: int
+    level: int
+
+    wire_size: int = _HEADER_BYTES + 8
+
+
+# ------------------------------------------------------------------- lookup
+@dataclass(frozen=True)
+class LookupRequest:
+    """One routed lookup packet.
+
+    Attributes
+    ----------
+    request_id:
+        Origin-unique id; the origin matches replies to requests.
+    origin:
+        Node that issued the lookup (replies go straight back — the paper's
+        "transmit back the result").
+    target:
+        The ID being resolved.
+    algo:
+        ``"G"``, ``"NG"`` or ``"NGSA"``.
+    ttl:
+        Hops consumed so far; discarded above the configured cap (255).
+    from_parent_level:
+        When the previous hop was the receiver's parent at level ``l``,
+        Fig. 3 takes different branches; 0 means "not from a parent".
+    alternates:
+        NGSA only: fallback candidates accumulated along the path, consumed
+        on dead ends ("at the expense of adding data to the request").
+    path:
+        IDs visited (loop avoidance + failed-hop accounting).
+    """
+
+    request_id: int
+    origin: int
+    target: int
+    algo: str
+    ttl: int = 0
+    from_parent_level: int = 0
+    alternates: Tuple[int, ...] = ()
+    path: Tuple[int, ...] = ()
+
+    @property
+    def wire_size(self) -> int:
+        return _HEADER_BYTES + 24 + 8 * len(self.alternates) + 8 * len(self.path)
+
+
+@dataclass(frozen=True)
+class LookupReply:
+    """Terminal answer sent straight to the origin."""
+
+    request_id: int
+    target: int
+    found: bool
+    resolved: Optional[int]  # the (ID == address) resolved, when found
+    hops: int
+    path: Tuple[int, ...] = ()
+
+    @property
+    def wire_size(self) -> int:
+        return _HEADER_BYTES + 16 + 8 * len(self.path)
+
+
+# ----------------------------------------------------------------- services
+@dataclass(frozen=True)
+class DhtPut:
+    request_id: int
+    origin: int
+    key_id: int
+    value: Any = None
+    ttl: int = 0
+    replicas: int = 1
+
+    wire_size: int = _HEADER_BYTES + 64
+
+
+@dataclass(frozen=True)
+class DhtGet:
+    request_id: int
+    origin: int
+    key_id: int
+    ttl: int = 0
+
+    wire_size: int = _HEADER_BYTES + 16
+
+
+@dataclass(frozen=True)
+class DhtValue:
+    request_id: int
+    key_id: int
+    found: bool
+    value: Any = None
+    hops: int = 0
+
+    wire_size: int = _HEADER_BYTES + 64
+
+
+@dataclass(frozen=True)
+class ResourceQuery:
+    """Attribute-constrained resource discovery (DGET substrate).
+
+    ``min_cpu``/``min_memory_gb``/``min_bandwidth_mbps`` express the grid
+    job's requirements; the query walks the hierarchy aggregates.
+    """
+
+    request_id: int
+    origin: int
+    min_cpu: float = 0.0
+    min_memory_gb: float = 0.0
+    min_bandwidth_mbps: float = 0.0
+    max_results: int = 4
+    ttl: int = 0
+
+    wire_size: int = _HEADER_BYTES + 28
+
+
+@dataclass(frozen=True)
+class ResourceHit:
+    request_id: int
+    nodes: Tuple[int, ...] = ()
+    hops: int = 0
+
+    @property
+    def wire_size(self) -> int:
+        return _HEADER_BYTES + 8 * len(self.nodes)

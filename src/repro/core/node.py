@@ -1,0 +1,471 @@
+"""The TreeP protocol engine: one :class:`TreePNode` per peer.
+
+A node is a :class:`~repro.sim.network.Process`; every interaction is a
+datagram, every decision is node-local.  The node composes:
+
+* its :class:`~repro.core.routing_table.RoutingTable`,
+* the pure router (:func:`repro.core.lookup.route`),
+* the maintenance loop (:class:`repro.core.maintenance.MaintenanceManager`),
+* the countdown protocols (:class:`~repro.core.hierarchy.ElectionManager`,
+  :class:`~repro.core.hierarchy.DemotionManager`).
+
+Lookup life-cycle (origin side): :meth:`issue_lookup` registers a
+:class:`PendingLookup` with a timeout; a :class:`LookupReply` resolves it,
+the timeout marks it failed.  The experiment harness reads the resulting
+:class:`~repro.core.lookup.LookupResult` objects.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.capacity import NodeCapacity
+from repro.core.config import TreePConfig
+from repro.core.hierarchy import DemotionManager, ElectionManager
+from repro.core.lookup import (
+    Decision,
+    DecisionKind,
+    LookupAlgorithm,
+    LookupResult,
+    route,
+)
+from repro.core.messages import (
+    ChildReport,
+    Demote,
+    ElectionStart,
+    Hello,
+    HelloAck,
+    JoinAccept,
+    JoinRedirect,
+    JoinRequest,
+    KeepAlive,
+    KeepAliveAck,
+    LookupReply,
+    LookupRequest,
+    ParentAnnounce,
+    ParentClaim,
+    PromoteGrant,
+    Splice,
+)
+from repro.core.routing_table import RoutingTable
+from repro.sim.network import Datagram, Process
+from repro.sim.trace import NULL_TRACER, Tracer
+
+
+@dataclass
+class PendingLookup:
+    """Origin-side record of an in-flight lookup."""
+
+    request_id: int
+    target: int
+    algo: LookupAlgorithm
+    issued_at: float
+    timeout_event: object = None
+    result: Optional[LookupResult] = None
+    on_done: Optional[Callable[[LookupResult], None]] = None
+
+
+class TreePNode(Process):
+    """One TreeP peer.
+
+    Parameters
+    ----------
+    ident:
+        Overlay ID == network address.
+    capacity:
+        The peer's capability vector.
+    config:
+        Shared overlay configuration.
+    tracer:
+        Optional structured tracer (defaults to the null tracer).
+    """
+
+    def __init__(
+        self,
+        ident: int,
+        capacity: NodeCapacity,
+        config: TreePConfig,
+        tracer: Tracer = NULL_TRACER,
+    ) -> None:
+        super().__init__(ident)
+        self.ident = ident
+        self.capacity = capacity
+        self.config = config
+        self.tracer = tracer
+        self.table = RoutingTable(ident)
+        #: Highest level this node occupies (0 = leaf-only).
+        self.max_level = 0
+        #: Node-local estimate of the hierarchy height ``h``.
+        self.height = 1
+        #: Children per level this node parents: level -> sorted ids.
+        self.children_by_level: Dict[int, List[int]] = {}
+        self.nc = (
+            config.nc_fixed
+            if config.nc_mode == "fixed"
+            else capacity.max_children(config.nc_floor, config.nc_ceiling)
+        )
+        self.elections = ElectionManager(ident, capacity, config)
+        self.demotions = DemotionManager(ident, capacity, config)
+        self._req_counter = itertools.count(1)
+        self.pending: Dict[int, PendingLookup] = {}
+        self.results: List[LookupResult] = []
+        #: Per-request hop observation hook installed by the harness
+        #: (measurement only, never read by routing).
+        self.hop_observer: Optional[Callable[[LookupRequest], None]] = None
+        #: The maintenance manager attaches itself here (see maintenance.py).
+        self.maintenance = None
+
+    # ------------------------------------------------------------- identity
+    @property
+    def score(self) -> float:
+        return self.capacity.score()
+
+    def meta(self) -> Dict[str, float]:
+        """Metadata advertised in Hello/KeepAlive exchanges."""
+        return {"max_level": self.max_level, "score": self.score, "nc": self.nc}
+
+    def child_count(self, level: int) -> int:
+        return len(self.children_by_level.get(level, ()))
+
+    # ------------------------------------------------------------ dispatch
+    def on_datagram(self, dgram: Datagram) -> None:
+        payload = dgram.payload
+        handler = getattr(self, f"_on_{type(payload).__name__}", None)
+        if handler is None:
+            self.tracer.record(self.sim.now, "drop", self.ident,
+                               f"no handler for {type(payload).__name__}")
+            return
+        handler(dgram.src, payload)
+
+    # -------------------------------------------------------------- lookups
+    def issue_lookup(
+        self,
+        target: int,
+        algo: LookupAlgorithm | str = LookupAlgorithm.GREEDY,
+        on_done: Optional[Callable[[LookupResult], None]] = None,
+    ) -> PendingLookup:
+        """Start resolving *target* from this node."""
+        algo = LookupAlgorithm.parse(algo if isinstance(algo, str) else algo.value)
+        rid = (self.ident << 20) | next(self._req_counter)
+        pend = PendingLookup(
+            request_id=rid,
+            target=target,
+            algo=algo,
+            issued_at=self.sim.now,
+            on_done=on_done,
+        )
+        self.pending[rid] = pend
+        pend.timeout_event = self.sim.schedule(
+            self.config.lookup_timeout,
+            lambda: self._lookup_timeout(rid),
+            label=f"lookup-timeout:{rid}",
+        )
+        req = LookupRequest(
+            request_id=rid, origin=self.ident, target=target, algo=algo.value,
+            ttl=0, path=(),
+        )
+        self._route_and_act(req)
+        return pend
+
+    def _lookup_timeout(self, rid: int) -> None:
+        pend = self.pending.pop(rid, None)
+        if pend is None:
+            return
+        res = LookupResult(
+            request_id=rid, origin=self.ident, target=pend.target,
+            algo=pend.algo, found=False, hops=0, timed_out=True,
+        )
+        pend.result = res
+        self.results.append(res)
+        if pend.on_done is not None:
+            pend.on_done(res)
+
+    def _on_LookupRequest(self, src: int, req: LookupRequest) -> None:
+        if self.hop_observer is not None:
+            self.hop_observer(req)
+        self._route_and_act(req)
+
+    def _route_and_act(self, req: LookupRequest) -> None:
+        decision = route(self, req)
+        if decision.kind is DecisionKind.FOUND:
+            reply = LookupReply(
+                request_id=req.request_id, target=req.target, found=True,
+                resolved=decision.resolved, hops=req.ttl,
+                path=req.path + (self.ident,),
+            )
+            if req.origin == self.ident:
+                self._on_LookupReply(self.ident, reply)
+            else:
+                self.send(req.origin, reply)
+            return
+        if decision.kind is DecisionKind.FORWARD:
+            assert decision.next_hop is not None
+            nxt = decision.next_hop
+            entry = self.table.get(nxt)
+            from_parent_level = 0
+            if nxt in self.table.children and entry is not None:
+                # We are the next hop's parent: it sees the request as
+                # "coming from the parent of level (its max level + 1)".
+                from_parent_level = entry.max_level + 1
+            fwd = LookupRequest(
+                request_id=req.request_id, origin=req.origin, target=req.target,
+                algo=req.algo, ttl=req.ttl + 1,
+                from_parent_level=from_parent_level,
+                alternates=decision.alternates,
+                path=req.path + (self.ident,),
+            )
+            self.send(nxt, fwd)
+            return
+        if decision.kind is DecisionKind.NOT_FOUND:
+            reply = LookupReply(
+                request_id=req.request_id, target=req.target, found=False,
+                resolved=None, hops=req.ttl, path=req.path + (self.ident,),
+            )
+            if req.origin == self.ident:
+                self._on_LookupReply(self.ident, reply)
+            else:
+                self.send(req.origin, reply)
+            return
+        # DISCARD: drop silently; the origin's timeout accounts for it.
+        self.tracer.record(self.sim.now, "lookup-discard", self.ident,
+                           f"rid={req.request_id} ttl={req.ttl}")
+
+    def _on_LookupReply(self, src: int, reply: LookupReply) -> None:
+        pend = self.pending.pop(reply.request_id, None)
+        if pend is None:
+            return  # late duplicate after timeout
+        if pend.timeout_event is not None:
+            pend.timeout_event.cancel()  # type: ignore[attr-defined]
+        res = LookupResult(
+            request_id=reply.request_id, origin=self.ident, target=reply.target,
+            algo=pend.algo, found=reply.found, hops=reply.hops,
+            timed_out=False, path=reply.path,
+        )
+        pend.result = res
+        self.results.append(res)
+        if pend.on_done is not None:
+            pend.on_done(res)
+
+    # ------------------------------------------------------- hello / splice
+    def _on_Hello(self, src: int, msg: Hello) -> None:
+        self.table.upsert(src, self.sim.now, max_level=msg.max_level,
+                          score=msg.score, nc=msg.nc)
+        self.send(src, HelloAck(max_level=self.max_level, score=self.score, nc=self.nc))
+
+    def _on_HelloAck(self, src: int, msg: HelloAck) -> None:
+        self.table.upsert(src, self.sim.now, max_level=msg.max_level,
+                          score=msg.score, nc=msg.nc)
+
+    def _on_Splice(self, src: int, msg: Splice) -> None:
+        """A join displaced one of our level-0 links: adopt the joiner."""
+        now = self.sim.now
+        self.table.add_level0(msg.joiner, now)
+        # Keep at most min_level0_connections + joiner; drop the link the
+        # joiner replaced (it is now reachable through the joiner).
+        if msg.left == self.ident and msg.right is not None:
+            self.table.level0.discard(msg.right)
+        elif msg.right == self.ident and msg.left is not None:
+            self.table.level0.discard(msg.left)
+        self.send(msg.joiner, Hello(self.max_level, self.score, self.nc))
+
+    # ----------------------------------------------------------------- join
+    def _on_JoinRequest(self, src: int, msg: JoinRequest) -> None:
+        """Greedy placement: accept if the joiner belongs between us and a
+        level-0 neighbour, otherwise forward towards its ID."""
+        space = self.config.space
+        now = self.sim.now
+        joiner = msg.joiner
+        neighbours = sorted(self.table.level0)
+        lo = max((n for n in neighbours if n < joiner), default=None)
+        hi = min((n for n in neighbours if n > joiner), default=None)
+
+        here = space.distance(self.ident, joiner)
+        closer = [n for n in neighbours if space.distance(n, joiner) < here]
+        if closer and not (min(self.ident, lo or self.ident) < joiner < max(self.ident, hi or self.ident)):
+            nxt = min(closer, key=lambda n: space.distance(n, joiner))
+            self.send(nxt, msg)
+            return
+
+        # Place the joiner adjacent to us, between self and lo or hi.
+        if joiner < self.ident:
+            left, right = lo, self.ident
+        else:
+            left, right = self.ident, hi
+        self.table.add_level0(joiner, now, score=msg.score, nc=msg.nc)
+        parent = self.table.level1_parent() if self.max_level == 0 else self.ident
+        self.send(joiner, JoinAccept(left=left, right=right, parent=parent))
+        other = left if right == self.ident else right
+        if other is not None:
+            self.send(other, Splice(joiner=joiner, left=left, right=right))
+
+    def join_via(self, bootstrap: int) -> None:
+        """Ask *bootstrap* to place this node on level 0."""
+        self.send(bootstrap, JoinRequest(joiner=self.ident, score=self.score, nc=self.nc))
+
+    def _on_JoinRedirect(self, src: int, msg: JoinRedirect) -> None:
+        if msg.joiner == self.ident:
+            self.send(msg.closer, JoinRequest(joiner=self.ident, score=self.score, nc=self.nc))
+
+    def _on_JoinAccept(self, src: int, msg: JoinAccept) -> None:
+        now = self.sim.now
+        for n in (msg.left, msg.right):
+            if n is not None and n != self.ident:
+                self.table.add_level0(n, now)
+                self.send(n, Hello(self.max_level, self.score, self.nc))
+        if msg.parent is not None and msg.parent != self.ident:
+            self.table.set_parent(1, msg.parent, now)
+            self.send(msg.parent, ChildReport(self.ident, self.score, self.max_level))
+
+    # ----------------------------------------------------------- hierarchy
+    def _on_ChildReport(self, src: int, msg: ChildReport) -> None:
+        now = self.sim.now
+        level = msg.max_level + 1
+        if level > self.max_level:
+            return  # we are no longer a parent at that level
+        self.table.add_child(src, now, score=msg.score, max_level=msg.max_level)
+        kids = self.children_by_level.setdefault(level, [])
+        if src not in kids:
+            kids.append(src)
+            kids.sort()
+        self.send(src, ParentAnnounce(level=level, parent=self.ident,
+                                      superiors=self._superior_chain()))
+        # Cell overflow (§III.a): a parent holds at most nc children; split
+        # the cell B-tree-style by promoting the best-scoring child to our
+        # own level.
+        if len(kids) > self.nc:
+            best: Optional[int] = None
+            best_score = -1.0
+            for k in kids:
+                e = self.table.get(k)
+                if e is not None and e.score > best_score:
+                    best, best_score = k, e.score
+            if best is not None:
+                kids.remove(best)
+                self.table.children.discard(best)
+                self.send(best, PromoteGrant(child=best, to_level=level))
+
+    def _on_PromoteGrant(self, src: int, msg: PromoteGrant) -> None:
+        """Our parent split its over-full cell: we ascend to its level."""
+        if msg.child != self.ident or msg.to_level <= self.max_level:
+            return
+        now = self.sim.now
+        self.max_level = msg.to_level
+        self.height = max(self.height, msg.to_level)
+        # The old parent becomes a same-level bus neighbour; our new parent
+        # is whatever covers us one level further up (learned via the
+        # superior list / next ParentAnnounce).
+        old_parent = self.table.parents.pop(msg.to_level, None)
+        if old_parent is not None:
+            self.table.add_level(msg.to_level, old_parent, now,
+                                 max_level=msg.to_level)
+        self.tracer.record(now, "promoted", self.ident, f"to level {msg.to_level}")
+
+    def _superior_chain(self) -> Tuple[int, ...]:
+        chain: List[int] = []
+        for lvl in sorted(self.table.parents):
+            chain.append(self.table.parents[lvl])
+        chain.extend(sorted(self.table.superiors))
+        return tuple(dict.fromkeys(chain))  # dedupe, keep order
+
+    def _on_ParentAnnounce(self, src: int, msg: ParentAnnounce) -> None:
+        now = self.sim.now
+        self.table.set_parent(msg.level, msg.parent, now, max_level=msg.level)
+        for s in msg.superiors:
+            if s != self.ident:
+                self.table.add_superior(s, now)
+        # Height estimate: the deepest superior chain we have seen.
+        self.height = max(self.height, msg.level + len(msg.superiors))
+
+    def _on_ElectionStart(self, src: int, msg: ElectionStart) -> None:
+        participants = sorted(self.table.neighbours_at(msg.level) | {self.ident, src})
+        delay = self.elections.start(msg.level, participants)
+        if delay < 0:
+            return
+        self.sim.schedule(delay, lambda: self._election_expired(msg.level),
+                          label=f"election:{self.ident}:{msg.level}")
+
+    def trigger_election(self, level: int = 0) -> None:
+        """§III.b: degree >= 2 and no parent → start an election."""
+        if self.table.parents.get(level + 1) is not None:
+            return
+        neighbours = self.table.neighbours_at(level)
+        if len(neighbours) < 2:
+            return
+        msg = ElectionStart(level=level, initiator=self.ident)
+        for n in neighbours:
+            self.send(n, msg)
+        self._on_ElectionStart(self.ident, msg)
+
+    def _election_expired(self, level: int) -> None:
+        if not self.elections.on_countdown_expired(level):
+            return
+        # We won: ascend one level and claim the electorate as children.
+        new_level = level + 1
+        self.max_level = max(self.max_level, new_level)
+        self.height = max(self.height, new_level)
+        e = self.elections.active[level]
+        claim = ParentClaim(level=new_level, winner=self.ident, score=self.score)
+        for p in e.participants:
+            if p != self.ident:
+                self.send(p, claim)
+        self.tracer.record(self.sim.now, "election-won", self.ident, f"level={new_level}")
+
+    def _on_ParentClaim(self, src: int, msg: ParentClaim) -> None:
+        self.elections.on_claim(msg.level - 1, msg.winner)
+        now = self.sim.now
+        self.table.set_parent(msg.level, msg.winner, now,
+                              max_level=msg.level, score=msg.score)
+        self.send(msg.winner, ChildReport(self.ident, self.score, self.max_level))
+
+    def check_demotion(self) -> None:
+        """Arm the under-filled-parent countdown when applicable (§III.b)."""
+        for level in range(1, self.max_level + 1):
+            if self.demotions.should_demote(level, self.child_count(level)):
+                if not self.demotions.pending.get(level):
+                    self.demotions.pending[level] = True
+                    self.sim.schedule(
+                        self.demotions.countdown(),
+                        lambda lvl=level: self._demotion_expired(lvl),
+                        label=f"demotion:{self.ident}:{level}",
+                    )
+
+    def _demotion_expired(self, level: int) -> None:
+        self.demotions.pending[level] = False
+        if not self.demotions.should_demote(level, self.child_count(level)):
+            return  # children arrived during the countdown
+        if level != self.max_level:
+            return  # only the top membership can be abdicated
+        # Leave the level: notify children and same-level neighbours.
+        msg = Demote(node=self.ident, level=level)
+        for n in self.table.neighbours_at(level):
+            self.send(n, msg)
+        for c in self.children_by_level.pop(level, []):
+            self.send(c, msg)
+        self.max_level = level - 1
+        self.table.level_tables.pop(level, None)
+        self.tracer.record(self.sim.now, "demoted", self.ident, f"from level {level}")
+
+    def _on_Demote(self, src: int, msg: Demote) -> None:
+        now = self.sim.now
+        if self.table.parents.get(msg.level) == msg.node:
+            del self.table.parents[msg.level]
+        self.table.level_tables.get(msg.level, set()).discard(msg.node)
+        self.table.children.discard(msg.node)
+        # Orphaned with enough neighbours → §III.b election trigger.
+        if msg.level == self.max_level + 1 and len(self.table.level0) >= 2:
+            self.trigger_election(self.max_level)
+
+    # ---------------------------------------------------------- maintenance
+    def _on_KeepAlive(self, src: int, msg: KeepAlive) -> None:
+        now = self.sim.now
+        self.table.touch(src, now)
+        self.table.merge_delta(msg.entries, now)
+        if self.maintenance is not None:
+            self.maintenance.on_keepalive(src, msg)
+
+    def _on_KeepAliveAck(self, src: int, msg: KeepAliveAck) -> None:
+        now = self.sim.now
+        self.table.touch(src, now)
+        self.table.merge_delta(msg.entries, now)

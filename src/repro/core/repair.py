@@ -1,0 +1,385 @@
+"""Self-healing: what the paper's maintenance converges to after failures.
+
+TreeP's robustness (§III.c/d) comes from cheap replication: every node also
+knows its *indirect* neighbours (neighbours of neighbours), the children of
+its bus neighbours, and its parent's neighbours (superior list).  Entries are
+timestamped; when a peer dies, its keep-alives stop, the timestamps lapse and
+every entry pointing at it is deleted — so at measurement time dead peers
+are *known dead* and the router never selects them.  Failures are therefore
+**structural**: a lookup fails when no surviving entry can make progress
+(a region's parent chain is gone, or the network has partitioned), which is
+exactly the behaviour §IV reports (≈10% failed lookups at 30% dead nodes,
+rising as the topology disintegrates).
+
+Two ways to run the healing between failure bursts:
+
+* **Protocol mode** — :class:`~repro.core.maintenance.MaintenanceManager`
+  expires entries as keep-alives stop arriving and calls
+  :func:`relink_node`; gossip happens through the delta exchange.
+  Message-accurate but needs many simulated seconds per step.
+* **Converged mode** — :func:`apply_failure_step` applies the *fixed point*
+  of that process directly, under a :class:`RepairPolicy` that says which
+  healing mechanisms the maintenance window is long enough to complete.
+  The experiment harness uses this so sweeps over thousands of nodes stay
+  fast; an integration test asserts protocol mode converges to an
+  equivalent table state on small networks.
+
+The paper's sweep deliberately stresses the overlay: failures accumulate
+with no repopulation and *no new promotions* — the surviving hierarchy only
+relinks laterally.  :data:`PAPER_POLICY` encodes that; the ablation benches
+flip individual knobs (e.g. parent re-adoption) to quantify each mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.node import TreePNode
+    from repro.core.treep import TreePNetwork
+
+
+@dataclass(frozen=True)
+class RepairPolicy:
+    """Which healing mechanisms complete within one maintenance window.
+
+    Attributes
+    ----------
+    relink_level0:
+        Survivors re-establish level-0 left/right links to the nearest peer
+        they still know (uses the indirect-neighbour replication).
+    relink_buses:
+        Same lateral relinking on every level bus.
+    adopt_parents:
+        Orphans re-attach to the nearest surviving peer one level up.  The
+        paper's stress sweep leaves this to the (disabled) promotion
+        machinery, so the default paper policy turns it off.
+    refresh_neighbour_children:
+        Bus neighbours re-exchange children lists, letting an uncle route
+        down into an orphaned cell.
+    gossip_rounds:
+        How many §III.d exchange rounds fit in the window (spreads
+        indirect-neighbour knowledge one hop per round).
+    """
+
+    relink_level0: bool = True
+    relink_buses: bool = True
+    adopt_parents: bool = False
+    refresh_neighbour_children: bool = True
+    gossip_rounds: int = 1
+
+
+#: The maintenance the paper's sweep cadence allows: lateral healing only.
+PAPER_POLICY = RepairPolicy()
+
+#: Everything on — used by the churn example and the ablation benches.
+FULL_POLICY = RepairPolicy(adopt_parents=True, gossip_rounds=2)
+
+#: Nothing but entry expiry — lower bound for ablations.
+PURGE_ONLY_POLICY = RepairPolicy(
+    relink_level0=False,
+    relink_buses=False,
+    adopt_parents=False,
+    refresh_neighbour_children=False,
+    gossip_rounds=0,
+)
+
+
+# --------------------------------------------------------------------------
+# node-local relinking (used by both modes)
+# --------------------------------------------------------------------------
+
+def _nearest_sides(ids: Iterable[int], around: int) -> tuple[Optional[int], Optional[int]]:
+    """Nearest known ID strictly below and strictly above *around*."""
+    left: Optional[int] = None
+    right: Optional[int] = None
+    for i in ids:
+        if i < around and (left is None or i > left):
+            left = i
+        elif i > around and (right is None or i < right):
+            right = i
+    return left, right
+
+
+def relink_node(node: "TreePNode", policy: RepairPolicy = FULL_POLICY) -> None:
+    """Recompute the node's maintained links from surviving knowledge.
+
+    Strictly node-local: candidates are the entries still present in the
+    node's own routing table (dead peers were expired by the keep-alive
+    TTL before this runs).
+    """
+    t = node.table
+    now = node.sim.now
+
+    known = [(e.ident, e.max_level) for e in t.candidates()]
+
+    if policy.relink_level0:
+        level0_ids = [i for i, _ in known]
+        left, right = _nearest_sides(level0_ids, node.ident)
+        t.level0 = {i for i in (left, right) if i is not None}
+        # Keep the paper's minimum-two-connections rule at bus endpoints.
+        if len(t.level0) < 2:
+            same_side = sorted(
+                (i for i in level0_ids if i not in t.level0),
+                key=lambda i: abs(i - node.ident),
+            )
+            for i in same_side[: 2 - len(t.level0)]:
+                t.level0.add(i)
+
+    if policy.relink_buses:
+        for lvl in range(1, node.max_level + 1):
+            bus_ids = [i for i, m in known if m >= lvl and i != node.ident]
+            l, r = _nearest_sides(bus_ids, node.ident)
+            t.level_tables[lvl] = {i for i in (l, r) if i is not None}
+
+    if policy.adopt_parents:
+        want_level = node.max_level + 1
+        if t.parents.get(want_level) is None:
+            ups = [i for i, m in known if m >= want_level]
+            if ups:
+                new_parent = min(ups, key=lambda i: abs(i - node.ident))
+                t.set_parent(want_level, new_parent, now)
+
+
+def _prune_children(node: "TreePNode") -> None:
+    """Drop children no longer present in the table (expired)."""
+    t = node.table
+    for lvl, kids in list(node.children_by_level.items()):
+        node.children_by_level[lvl] = [k for k in kids if t.get(k) is not None]
+
+
+# --------------------------------------------------------------------------
+# converged-mode primitives (harness use)
+# --------------------------------------------------------------------------
+
+def purge_dead(net: "TreePNetwork", newly_dead: Optional[Iterable[int]] = None) -> int:
+    """Delete every entry pointing at a down peer from every live table.
+
+    Equivalent to letting every keep-alive TTL lapse; returns entries
+    removed.  Pass *newly_dead* to restrict the scan to peers that failed
+    since the last purge (gossip never re-imports dead peers, so
+    incremental purging is exact and much cheaper on large sweeps).
+    """
+    removed = 0
+    if newly_dead is not None:
+        dead = {i for i in newly_dead if not net.network.is_up(i)}
+    else:
+        dead = {i for i in net.ids if not net.network.is_up(i)}
+    if not dead:
+        return 0
+    for ident, node in net.nodes.items():
+        if ident in dead:
+            continue
+        for d in dead:
+            if node.table.get(d) is not None:
+                node.table.forget(d)
+                removed += 1
+        _prune_children(node)
+    return removed
+
+
+def gossip_round(net: "TreePNetwork", policy: RepairPolicy = FULL_POLICY) -> None:
+    """One §III.d exchange round along surviving maintained links.
+
+    Each live node imports, into the matching table role:
+
+    * from its level-0 links: the peers' own level-0 links (indirect
+      neighbour knowledge);
+    * from its bus links at level ``i``: the peers' bus links (indirect
+      same-level) and — when the policy allows — the peers' children
+      (the neighbour-children table);
+    * from its parent (when one survives): the parent's ancestors and bus
+      links (the superior-node list of Figure 2).
+
+    Entries backing no role afterwards are trimmed, keeping table sizes
+    within the §III.e bounds instead of accumulating gossip forever.
+    """
+    now = net.sim.now
+    # Snapshot first so information moves one hop per round, matching one
+    # keep-alive exchange, not transitively within a round.
+    snapshot: dict[int, tuple] = {}
+    for ident, node in net.nodes.items():
+        if not net.network.is_up(ident):
+            continue
+        t = node.table
+        meta = {}
+        for i in t.all_known():
+            e = t.get(i)
+            meta[i] = (e.max_level, e.score, e.nc)  # type: ignore[union-attr]
+        snapshot[ident] = (
+            set(t.level0),
+            {lvl: set(ids) for lvl, ids in t.level_tables.items()},
+            {lvl: list(kids) for lvl, kids in node.children_by_level.items()},
+            dict(t.parents),
+            set(t.superiors),
+            (node.max_level, node.score, node.nc),
+            meta,
+        )
+
+    for ident, snap in snapshot.items():
+        node = net.nodes[ident]
+        t = node.table
+        my_level0, my_buses, _, my_parents, _, _, _ = snap
+
+        def import_entry(i: int, src_meta: dict, adder: Callable) -> None:
+            if i == ident:
+                return
+            m = src_meta.get(i)
+            if m is None:
+                adder(i, now)
+            else:
+                adder(i, now, max_level=m[0], score=m[1], nc=m[2])
+
+        # Level-0 exchange: refresh the link, learn the peer's links.
+        new_indirect: set[int] = set()
+        for peer in my_level0:
+            ps = snapshot.get(peer)
+            if ps is None:
+                continue
+            p_level0, _, _, _, _, pme, pmeta = ps
+            t.add_level0(peer, now, max_level=pme[0], score=pme[1], nc=pme[2])
+            for i in p_level0:
+                if i != ident:
+                    import_entry(i, pmeta, t.add_level0_indirect)
+                    new_indirect.add(i)
+        if new_indirect:
+            t.level0_indirect = new_indirect - t.level0
+
+        # Bus exchanges per level.  Each level table is *rebuilt* as direct
+        # links + one-hop indirect (the peers' own links): like the other
+        # replicated roles it must not accumulate transitively across
+        # rounds, or table sizes would leave the §III.e bounds.
+        fresh_nc: set[int] = set()
+        any_bus_exchange = False
+        for lvl, bus_entries in my_buses.items():
+            # Exchange only on *maintained* connections: the nearest bus
+            # neighbour on each side.  Everything else in the level table
+            # is indirect knowledge, not an active edge (§III.a).
+            l, r = _nearest_sides(bus_entries, ident)
+            bus_links = {i for i in (l, r) if i is not None}
+            fresh_level: set[int] = set()
+            exchanged_here = False
+            for peer in bus_links:
+                ps = snapshot.get(peer)
+                if ps is None:
+                    continue
+                exchanged_here = True
+                any_bus_exchange = True
+                _, p_buses, p_children, _, _, pme, pmeta = ps
+                t.add_level(lvl, peer, now, max_level=pme[0], score=pme[1], nc=pme[2])
+                fresh_level.add(peer)
+                for i in p_buses.get(lvl, ()):
+                    if i != ident:
+                        import_entry(i, pmeta, lambda j, n, **m: t.add_level(lvl, j, n, **m))
+                        fresh_level.add(i)
+                if policy.refresh_neighbour_children:
+                    for k in p_children.get(lvl, ()):
+                        if k != ident:
+                            import_entry(k, pmeta, t.add_neighbour_child)
+                            fresh_nc.add(k)
+            if exchanged_here:
+                t.level_tables[lvl] = fresh_level
+        if policy.refresh_neighbour_children and any_bus_exchange:
+            t.neighbour_children = fresh_nc
+
+        # Parent exchange: ancestors + parent's bus links -> superiors.
+        p = my_parents.get(node.max_level + 1)
+        ps = snapshot.get(p) if p is not None else None
+        if ps is not None:
+            _, p_buses, _, p_parents, p_superiors, pme, pmeta = ps
+            new_sup: set[int] = set()
+            for group in (p_parents.values(), p_superiors, p_buses.get(pme[0], ())):
+                for i in group:
+                    if i != ident:
+                        import_entry(i, pmeta, t.add_superior)
+                        new_sup.add(i)
+            t.superiors = new_sup
+
+        t.trim_to_roles()
+
+
+def _sync_children(net: "TreePNetwork") -> None:
+    """Make parent/child views consistent after adoptions (ChildReport)."""
+    now = net.sim.now
+    for ident, node in net.nodes.items():
+        if not net.network.is_up(ident):
+            continue
+        lvl = node.max_level + 1
+        p = node.table.parents.get(lvl)
+        if p is None or not net.network.is_up(p):
+            continue
+        parent = net.nodes.get(p)
+        if parent is None or parent.max_level < lvl:
+            continue
+        parent.table.add_child(ident, now, max_level=node.max_level,
+                               score=node.score, nc=node.nc)
+        kids = parent.children_by_level.setdefault(lvl, [])
+        if ident not in kids:
+            kids.append(ident)
+            kids.sort()
+
+
+# --------------------------------------------------------------------------
+# converged-mode drivers
+# --------------------------------------------------------------------------
+
+def _symmetrize_links(net: "TreePNetwork") -> None:
+    """Make relinked connections mutual.
+
+    Adopting a link starts with a Hello handshake (§III.d first contact),
+    so the adopted peer always learns the adopter: if A linked B at level
+    0, B gains A's entry and — both being each other's nearest known —
+    links back on its next relink pass.
+    """
+    now = net.sim.now
+    up = net.network.is_up
+    for ident, node in net.nodes.items():
+        if not up(ident):
+            continue
+        for peer in list(node.table.level0):
+            pn = net.nodes.get(peer)
+            if pn is not None and up(peer):
+                pn.table.add_level0_indirect(ident, now, max_level=node.max_level,
+                                             score=node.score, nc=node.nc)
+        for lvl, ids in node.table.level_tables.items():
+            for peer in list(ids):
+                pn = net.nodes.get(peer)
+                if pn is not None and up(peer) and pn.max_level >= lvl:
+                    pn.table.add_level(lvl, ident, now, max_level=node.max_level,
+                                       score=node.score, nc=node.nc)
+
+
+def apply_failure_step(
+    net: "TreePNetwork",
+    newly_failed: Iterable[int] = (),
+    policy: RepairPolicy = PAPER_POLICY,
+) -> None:
+    """One step of the paper's sweep: expire the victims, heal per *policy*."""
+    purge_dead(net, newly_failed)
+    up = net.network.is_up
+    live_nodes = [n for i, n in net.nodes.items() if up(i)]
+    for node in live_nodes:
+        relink_node(node, policy)
+    _symmetrize_links(net)
+    for node in live_nodes:
+        relink_node(node, policy)
+    for _ in range(max(0, policy.gossip_rounds)):
+        gossip_round(net, policy)
+        for node in live_nodes:
+            relink_node(node, policy)
+    if policy.adopt_parents:
+        _sync_children(net)
+
+
+def converge(
+    net: "TreePNetwork",
+    gossip_rounds: int = 2,
+    newly_failed: Optional[Iterable[int]] = None,
+    policy: Optional[RepairPolicy] = None,
+) -> None:
+    """Full healing to the maintenance fixed point (everything enabled)."""
+    pol = policy if policy is not None else RepairPolicy(
+        adopt_parents=True, gossip_rounds=gossip_rounds
+    )
+    apply_failure_step(net, newly_failed if newly_failed is not None else (), pol)

@@ -1,0 +1,266 @@
+"""The per-node routing state: the six tables of §III.c.
+
+Every entry is a ``(ID, IP, Port)`` tuple in the paper; here the overlay ID
+doubles as the network address, so an entry is an ID plus *peer metadata*
+(maximum level, capacity score, children bound) and a **timestamp**.  Per
+§III.c, the timestamp is reset on every active communication with the peer
+and the entry is deleted after expiry.
+
+The six tables:
+
+1. **level-0 table** — level-0 neighbours (every node has one).
+2. **level-i tables** (``i > 0``) — direct and indirect (neighbour-of-
+   neighbour) peers on the node's level-``i`` bus, plus the level-``i``
+   parents of its level-0 neighbours.
+3. **children table** — own children plus the children of direct bus
+   neighbours (parents only).
+4. **level-1 parent** — every node has one.
+5. **superior node list** — ancestors (Figure 2's red chain) and the direct
+   neighbours of the immediate parent; cheap replication for robustness.
+
+(The paper counts the per-level parents as the sixth table; here parents at
+every level the node belongs to live in :attr:`RoutingTable.parents`.)
+
+One shared :class:`Entry` store backs all tables so a keep-alive from a peer
+refreshes every role it appears under at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+
+@dataclass
+class Entry:
+    """What a node knows about one peer."""
+
+    ident: int
+    max_level: int = 0
+    score: float = 1.0
+    nc: int = 4
+    last_seen: float = 0.0
+
+    def touch(self, now: float) -> None:
+        if now > self.last_seen:
+            self.last_seen = now
+
+    def as_tuple(self) -> Tuple[int, int, float, int, float]:
+        return (self.ident, self.max_level, self.score, self.nc, self.last_seen)
+
+
+class RoutingTable:
+    """All routing state of one TreeP node.
+
+    The table never stores the owning node itself.  Mutators are idempotent;
+    `expire` is the only method that removes entries besides explicit
+    `forget`.
+    """
+
+    def __init__(self, owner: int) -> None:
+        self.owner = owner
+        self._entries: Dict[int, Entry] = {}
+        #: level-0 neighbours (table 1).
+        self.level0: Set[int] = set()
+        #: indirect level-0 knowledge — neighbours of neighbours, the
+        #: replication that lets a node relink when a direct link dies.
+        self.level0_indirect: Set[int] = set()
+        #: per-level bus neighbourhood (table 2): level -> ids.
+        self.level_tables: Dict[int, Set[int]] = {}
+        #: own children (table 3, first half).
+        self.children: Set[int] = set()
+        #: children of direct bus neighbours (table 3, second half).
+        self.neighbour_children: Set[int] = set()
+        #: parent at each level this node belongs to (tables 4 + per-level).
+        self.parents: Dict[int, int] = {}
+        #: ancestors + parent's direct neighbours (table 5).
+        self.superiors: Set[int] = set()
+
+    # ----------------------------------------------------------- entry CRUD
+    def upsert(
+        self,
+        ident: int,
+        now: float,
+        max_level: Optional[int] = None,
+        score: Optional[float] = None,
+        nc: Optional[int] = None,
+    ) -> Entry:
+        """Create or refresh the metadata entry for *ident*."""
+        if ident == self.owner:
+            raise ValueError("a node never stores itself in its routing table")
+        e = self._entries.get(ident)
+        if e is None:
+            e = Entry(ident=ident, last_seen=now)
+            self._entries[ident] = e
+        e.touch(now)
+        if max_level is not None:
+            e.max_level = max_level
+        if score is not None:
+            e.score = score
+        if nc is not None:
+            e.nc = nc
+        return e
+
+    def get(self, ident: int) -> Optional[Entry]:
+        return self._entries.get(ident)
+
+    def knows(self, ident: int) -> bool:
+        """§III.f Fig. 3: "target X is in the routing table"."""
+        return ident in self._entries
+
+    def touch(self, ident: int, now: float) -> None:
+        e = self._entries.get(ident)
+        if e is not None:
+            e.touch(now)
+
+    def forget(self, ident: int) -> None:
+        """Drop *ident* from every table (e.g. a detected-dead peer)."""
+        self._entries.pop(ident, None)
+        self.level0.discard(ident)
+        self.level0_indirect.discard(ident)
+        for ids in self.level_tables.values():
+            ids.discard(ident)
+        self.children.discard(ident)
+        self.neighbour_children.discard(ident)
+        self.superiors.discard(ident)
+        for lvl in [l for l, p in self.parents.items() if p == ident]:
+            del self.parents[lvl]
+
+    # ------------------------------------------------------------ role sets
+    def add_level0(self, ident: int, now: float, **meta: float) -> None:
+        self.upsert(ident, now, **meta)  # type: ignore[arg-type]
+        self.level0.add(ident)
+
+    def add_level0_indirect(self, ident: int, now: float, **meta: float) -> None:
+        self.upsert(ident, now, **meta)  # type: ignore[arg-type]
+        self.level0_indirect.add(ident)
+
+    def add_level(self, level: int, ident: int, now: float, **meta: float) -> None:
+        if level <= 0:
+            raise ValueError("use add_level0 for level 0")
+        self.upsert(ident, now, **meta)  # type: ignore[arg-type]
+        self.level_tables.setdefault(level, set()).add(ident)
+
+    def add_child(self, ident: int, now: float, **meta: float) -> None:
+        self.upsert(ident, now, **meta)  # type: ignore[arg-type]
+        self.children.add(ident)
+
+    def add_neighbour_child(self, ident: int, now: float, **meta: float) -> None:
+        self.upsert(ident, now, **meta)  # type: ignore[arg-type]
+        self.neighbour_children.add(ident)
+
+    def set_parent(self, level: int, ident: int, now: float, **meta: float) -> None:
+        """Record *ident* as the parent seen from level ``level - 1``."""
+        if level <= 0:
+            raise ValueError("parents exist at level >= 1")
+        self.upsert(ident, now, **meta)  # type: ignore[arg-type]
+        self.parents[level] = ident
+
+    def add_superior(self, ident: int, now: float, **meta: float) -> None:
+        self.upsert(ident, now, **meta)  # type: ignore[arg-type]
+        self.superiors.add(ident)
+
+    # --------------------------------------------------------------- expiry
+    def expire(self, now: float, entry_ttl: float) -> List[int]:
+        """Delete entries not refreshed within *entry_ttl*; return their ids."""
+        stale = [i for i, e in self._entries.items() if now - e.last_seen > entry_ttl]
+        for ident in stale:
+            self.forget(ident)
+        return stale
+
+    # -------------------------------------------------------------- queries
+    def level1_parent(self) -> Optional[int]:
+        return self.parents.get(1)
+
+    def all_known(self) -> List[int]:
+        return list(self._entries)
+
+    def candidates(self) -> List[Entry]:
+        """Every peer usable as a next hop, deduplicated."""
+        return list(self._entries.values())
+
+    def neighbours_at(self, level: int) -> Set[int]:
+        if level == 0:
+            return set(self.level0)
+        return set(self.level_tables.get(level, ()))
+
+    def size(self) -> int:
+        """Total distinct entries — the quantity §III.e bounds."""
+        return len(self._entries)
+
+    def active_connections(self) -> Set[int]:
+        """Peers with an actively maintained edge (§III.a/e).
+
+        Level-0 neighbours, same-level bus neighbours, the per-level
+        parents, and own children.  Superiors and neighbour-children are
+        *replicated data*, not maintained edges.
+        """
+        out: Set[int] = set(self.level0)
+        for ids in self.level_tables.values():
+            out |= ids
+        out |= set(self.parents.values())
+        out |= self.children
+        return out
+
+    def roles_of(self, ident: int) -> Set[str]:
+        """Role tags *ident* currently holds in this table (diagnostics)."""
+        roles: Set[str] = set()
+        if ident in self.level0:
+            roles.add("level0")
+        if ident in self.level0_indirect:
+            roles.add("level0-indirect")
+        for lvl, ids in self.level_tables.items():
+            if ident in ids:
+                roles.add(f"level{lvl}")
+        if ident in self.children:
+            roles.add("child")
+        if ident in self.neighbour_children:
+            roles.add("neighbour-child")
+        if ident in self.parents.values():
+            roles.add("parent")
+        if ident in self.superiors:
+            roles.add("superior")
+        return roles
+
+    def trim_to_roles(self) -> int:
+        """Expire every entry that no longer backs any table role.
+
+        This is the bounded-knowledge rule of §III.c/e: the routing table
+        holds the six categories and nothing else, so its size obeys the
+        paper's formulas instead of accumulating gossip indefinitely.
+        Returns the number of entries dropped.
+        """
+        keep: Set[int] = set(self.level0) | self.level0_indirect
+        for ids in self.level_tables.values():
+            keep |= ids
+        keep |= self.children | self.neighbour_children
+        keep |= set(self.parents.values())
+        keep |= self.superiors
+        drop = [i for i in self._entries if i not in keep]
+        for i in drop:
+            del self._entries[i]
+        return len(drop)
+
+    # ---------------------------------------------------------------- delta
+    def delta_since(self, since: float) -> List[Tuple[int, int, float, int, float]]:
+        """Entries refreshed after *since* — §III.d's out-of-date-only sync."""
+        return [e.as_tuple() for e in self._entries.values() if e.last_seen > since]
+
+    def merge_delta(
+        self, tuples: Iterable[Tuple[int, int, float, int, float]], now: float
+    ) -> int:
+        """Fold a peer's delta into the metadata store.
+
+        Only metadata is merged — roles (neighbour/child/parent) are
+        assigned by protocol logic, not gossip.  Returns entries updated.
+        """
+        n = 0
+        for ident, max_level, score, nc, last_seen in tuples:
+            if ident == self.owner:
+                continue
+            e = self._entries.get(ident)
+            if e is None or last_seen > e.last_seen:
+                e = self.upsert(ident, min(last_seen, now), max_level=max_level,
+                                score=score, nc=nc)
+                n += 1
+        return n

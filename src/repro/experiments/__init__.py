@@ -1,0 +1,26 @@
+"""Experiment drivers — one module per figure of the paper's §IV.
+
+All figures derive from the same protocol (build a TreeP network, reach
+steady state, disconnect 5% of the initial population per step with no
+repopulation, measure a lookup batch per step), so everything funnels
+through :func:`repro.experiments.common.run_failure_sweep`.  Results are
+memoised per configuration (see :mod:`repro.experiments.cache`) so the nine
+figure benches share the two underlying sweeps (case 1 fixed ``nc``, case 2
+variable ``nc``).
+"""
+
+from repro.experiments.common import (
+    StepRecord,
+    SweepConfig,
+    SweepResult,
+    run_failure_sweep,
+)
+from repro.experiments.cache import sweep_cached
+
+__all__ = [
+    "StepRecord",
+    "SweepConfig",
+    "SweepResult",
+    "run_failure_sweep",
+    "sweep_cached",
+]

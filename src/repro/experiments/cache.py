@@ -1,0 +1,32 @@
+"""Per-process memoisation of sweep results.
+
+Nine figure benches derive from two sweeps (case 1 and case 2); running the
+sweep nine times would dominate bench time for no information.  The cache
+key is the full :class:`~repro.experiments.common.SweepConfig`, which is
+frozen/hashable, so any parameter change re-runs honestly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.common import SweepConfig, SweepResult, run_failure_sweep
+
+_CACHE: Dict[SweepConfig, SweepResult] = {}
+
+
+def sweep_cached(config: SweepConfig) -> SweepResult:
+    """Return the memoised sweep for *config*, computing it on first use."""
+    result = _CACHE.get(config)
+    if result is None:
+        result = run_failure_sweep(config)
+        _CACHE[config] = result
+    return result
+
+
+def cache_clear() -> None:
+    _CACHE.clear()
+
+
+def cache_size() -> int:
+    return len(_CACHE)

@@ -1,0 +1,182 @@
+"""The shared failure-sweep driver behind every figure.
+
+Protocol (§IV): the TreeP network is built and taken to steady state; nodes
+are then randomly disconnected at a rate of 5% of the initial topology per
+step, with no repopulation, "until the number of the remaining nodes reaches
+a threshold of 5% of the initial topology".  After each step the surviving
+nodes run one maintenance window (see :mod:`repro.core.repair`) and a batch
+of random lookups per routing algorithm is measured.
+
+Both experimental cases are supported:
+
+* **case 1** — ``nc = 4`` fixed (paper §IV.a, ``h = 6`` at n ≈ 1024);
+* **case 2** — ``nc`` derived from node capacity (paper §IV.b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Literal, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import TreePConfig
+from repro.core.lookup import LookupResult
+from repro.core.repair import PAPER_POLICY, RepairPolicy, apply_failure_step
+from repro.core.treep import TreePNetwork
+from repro.metrics.histogram import HopHistogram
+from repro.metrics.series import Series
+from repro.metrics.stats import LookupBatchStats, summarize_batch
+from repro.sim.failures import FailureSchedule
+from repro.workloads.lookups import LookupWorkload
+
+Case = Literal["case1", "case2"]
+
+#: The three algorithms of §IV, in the paper's order.
+ALGORITHMS: Tuple[str, ...] = ("G", "NG", "NGSA")
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """One sweep = one network + one failure schedule + per-step batches."""
+
+    n: int = 1024
+    seed: int = 42
+    case: Case = "case1"
+    algorithms: Tuple[str, ...] = ALGORITHMS
+    lookups_per_step: int = 200
+    step_fraction: float = 0.05
+    stop_fraction: float = 0.05
+    policy: RepairPolicy = PAPER_POLICY
+
+    def treep_config(self) -> TreePConfig:
+        if self.case == "case1":
+            return TreePConfig.paper_case1()
+        return TreePConfig.paper_case2()
+
+
+@dataclass
+class StepRecord:
+    """Measurements at one failure level."""
+
+    failed_fraction: float
+    surviving: int
+    per_algo: Dict[str, LookupBatchStats]
+
+
+@dataclass
+class SweepResult:
+    """The full sweep: per-step, per-algorithm batch statistics."""
+
+    config: SweepConfig
+    height: int
+    initial_n: int
+    records: List[StepRecord] = field(default_factory=list)
+
+    # ------------------------------------------------------- series views
+    def failure_series(self, algo: str) -> Series:
+        """% failed lookups vs % failed nodes (Figures A / C)."""
+        s = Series(label=f"{algo} failed lookups %")
+        for r in self.records:
+            s.add(100.0 * r.failed_fraction, 100.0 * r.per_algo[algo].failure_rate)
+        return s
+
+    def hops_series(self, algo: str) -> Series:
+        """Average hops of successful lookups vs % failed nodes (B / D)."""
+        s = Series(label=f"{algo} avg hops")
+        for r in self.records:
+            s.add(100.0 * r.failed_fraction, r.per_algo[algo].hops_mean)
+        return s
+
+    def failed_hops_series(self, algo: str) -> Tuple[Series, Series]:
+        """(max, min) hops travelled by *failed* lookups (Figure E)."""
+        smax = Series(label=f"{algo} max failed hops")
+        smin = Series(label=f"{algo} min failed hops")
+        for r in self.records:
+            st = r.per_algo[algo]
+            smax.add(100.0 * r.failed_fraction, st.failed_hops_max)
+            smin.add(100.0 * r.failed_fraction, st.failed_hops_min)
+        return smax, smin
+
+    def surface(self, algo: str, max_hops: int = 30) -> "HopSurface":
+        """The 3-D data of Figures F-I for one algorithm."""
+        fracs = [100.0 * r.failed_fraction for r in self.records]
+        rows = [r.per_algo[algo].hops_histogram.row(max_hops) for r in self.records]
+        return HopSurface(algo=algo, failed_percent=fracs, max_hops=max_hops,
+                          percent_rows=rows)
+
+
+@dataclass
+class HopSurface:
+    """% of requests (z) resolved in y hops at x% failed nodes."""
+
+    algo: str
+    failed_percent: List[float]
+    max_hops: int
+    percent_rows: List[List[float]]  # indexed [step][hops]
+
+    def as_array(self) -> np.ndarray:
+        return np.array(self.percent_rows)
+
+    def peak(self) -> Tuple[int, float]:
+        """(hop count, %) of the tallest ridge across the whole surface."""
+        arr = self.as_array()
+        if arr.size == 0:
+            return (0, 0.0)
+        step, hops = np.unravel_index(int(np.argmax(arr)), arr.shape)
+        return int(hops), float(arr[step, hops])
+
+    def ridge_hops(self) -> List[int]:
+        """Per-step modal hop count — flatness of this list is Figure B's
+        'the number of hops is constant' claim in surface form."""
+        return [int(np.argmax(np.array(row))) for row in self.percent_rows]
+
+
+def _failed_hop_counts(net: TreePNetwork, failed: Sequence[LookupResult]) -> List[int]:
+    """Hops travelled by failed lookups, via the harness request trails."""
+    out: List[int] = []
+    for r in failed:
+        if r.timed_out:
+            trail = net.trails.get(r.request_id)
+            out.append(trail.max_ttl if trail is not None else 0)
+        else:
+            out.append(r.hops)
+    return out
+
+
+def run_failure_sweep(config: SweepConfig) -> SweepResult:
+    """Execute one full sweep (the engine behind Figures A-I)."""
+    net = TreePNetwork(config=config.treep_config(), seed=config.seed)
+    layout = net.build(config.n)
+    result = SweepResult(config=config, height=layout.height, initial_n=config.n)
+
+    rng = net.rng.get("sweep")
+    schedule = FailureSchedule(
+        net.ids, rng,
+        step_fraction=config.step_fraction,
+        stop_fraction=config.stop_fraction,
+    )
+    workload = LookupWorkload(rng=net.rng.get("workload"))
+
+    for step in schedule.steps():
+        schedule.apply_step(net.network, step)
+        apply_failure_step(net, step.newly_failed, config.policy)
+        if len(step.surviving) < 2:
+            break
+        per_algo: Dict[str, LookupBatchStats] = {}
+        for algo in config.algorithms:
+            pairs = workload.pairs(step.surviving, config.lookups_per_step)
+            results = net.run_lookup_batch(pairs, algo)
+            failed = [r for r in results if not r.found]
+            per_algo[algo] = summarize_batch(
+                results, failed_hop_counts=_failed_hop_counts(net, failed)
+            )
+            net.trails.clear()
+        result.records.append(
+            StepRecord(
+                failed_fraction=step.cumulative_failed_fraction,
+                surviving=len(step.surviving),
+                per_algo=per_algo,
+            )
+        )
+    return result

@@ -1,0 +1,36 @@
+"""Figure B — average hops vs % failed nodes, case 1 (``nc = 4``).
+
+Paper finding (§IV.a): "the average number of hops to reach the destination
+is independent of the rate of failed nodes" (~5 hops) until, above ~70%
+disconnected, the network is mostly isolated sub-networks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.cache import sweep_cached
+from repro.experiments.common import ALGORITHMS, SweepConfig
+from repro.metrics.series import Series
+from repro.viz.ascii import line_chart
+
+
+def run(n: int = 1024, seed: int = 42, lookups_per_step: int = 200) -> Dict[str, Series]:
+    """Regenerate Figure B's series: average hop count per algorithm."""
+    sweep = sweep_cached(SweepConfig(n=n, seed=seed, case="case1",
+                                     lookups_per_step=lookups_per_step))
+    return {algo: sweep.hops_series(algo) for algo in ALGORITHMS}
+
+
+def render(n: int = 1024, seed: int = 42, lookups_per_step: int = 200) -> str:
+    series = run(n=n, seed=seed, lookups_per_step=lookups_per_step)
+    return line_chart(
+        list(series.values()),
+        title=f"Figure B — average hops vs failed nodes (case 1, nc=4, n={n})",
+        x_label="% failed nodes",
+        y_label="average hops (successful lookups)",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(render())

@@ -1,0 +1,36 @@
+"""Figure C — % failed lookups vs % failed nodes, case 2 (variable ``nc``).
+
+Paper finding (§IV.b): "the behaviour of the algorithms is similar to the
+first case" — the failure curves keep the same family shape with
+capacity-derived children bounds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.cache import sweep_cached
+from repro.experiments.common import ALGORITHMS, SweepConfig
+from repro.metrics.series import Series
+from repro.viz.ascii import line_chart
+
+
+def run(n: int = 1024, seed: int = 42, lookups_per_step: int = 200) -> Dict[str, Series]:
+    """Regenerate Figure C's series (variable-``nc`` failure curves)."""
+    sweep = sweep_cached(SweepConfig(n=n, seed=seed, case="case2",
+                                     lookups_per_step=lookups_per_step))
+    return {algo: sweep.failure_series(algo) for algo in ALGORITHMS}
+
+
+def render(n: int = 1024, seed: int = 42, lookups_per_step: int = 200) -> str:
+    series = run(n=n, seed=seed, lookups_per_step=lookups_per_step)
+    return line_chart(
+        list(series.values()),
+        title=f"Figure C — failed lookups vs failed nodes (case 2, variable nc, n={n})",
+        x_label="% failed nodes",
+        y_label="% failed lookups",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(render())

@@ -1,0 +1,43 @@
+"""Figure E — maximum and minimum hops of *failed* lookups, case 1.
+
+Paper finding (§IV.a): the maximum number of failed hops "increases
+dramatically" when ~35% of the nodes are disconnected — the point where the
+network partitions into two isolated sub-networks and doomed requests
+wander until the TTL backstop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.experiments.cache import sweep_cached
+from repro.experiments.common import SweepConfig
+from repro.metrics.series import Series
+from repro.viz.ascii import line_chart
+
+
+def run(
+    n: int = 1024,
+    seed: int = 42,
+    lookups_per_step: int = 200,
+    algo: str = "G",
+) -> Dict[str, Series]:
+    """Regenerate Figure E: max/min hops travelled by failed lookups."""
+    sweep = sweep_cached(SweepConfig(n=n, seed=seed, case="case1",
+                                     lookups_per_step=lookups_per_step))
+    smax, smin = sweep.failed_hops_series(algo)
+    return {"max": smax, "min": smin}
+
+
+def render(n: int = 1024, seed: int = 42, lookups_per_step: int = 200) -> str:
+    series = run(n=n, seed=seed, lookups_per_step=lookups_per_step)
+    return line_chart(
+        [series["max"], series["min"]],
+        title=f"Figure E — max/min failed-lookup hops (case 1, n={n})",
+        x_label="% failed nodes",
+        y_label="hops travelled by failed lookups",
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(render())

@@ -1,0 +1,95 @@
+"""§IV.a's bandwidth verdict on NGSA, measured.
+
+"The NGSA algorithm is not performing much better than the NG or the Greedy
+algorithm […] The gain obtained by the NGSA algorithm compared to its cost
+in terms of bandwidth makes it less attractive to be used with this
+topology."
+
+NGSA carries alternate-path candidates inside every request ("at the
+expense of adding data to the request"), so its cost shows up as bytes on
+the wire, not as extra messages.  This experiment runs the same lookup
+batch under each algorithm at a configurable failure level and reports
+success rate, messages and bytes per lookup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.core.config import TreePConfig
+from repro.core.repair import PAPER_POLICY, apply_failure_step
+from repro.core.treep import TreePNetwork
+from repro.sim.failures import FailureSchedule
+from repro.viz.ascii import table
+from repro.workloads.lookups import LookupWorkload
+
+
+@dataclass(frozen=True)
+class AlgoCost:
+    algorithm: str
+    success_rate: float
+    avg_hops: float
+    messages_per_lookup: float
+    bytes_per_lookup: float
+
+
+def run(
+    n: int = 1024,
+    seed: int = 42,
+    lookups: int = 300,
+    dead_fraction: float = 0.30,
+) -> Dict[str, AlgoCost]:
+    """Measure per-algorithm lookup cost at *dead_fraction* failed nodes."""
+    if not 0.0 <= dead_fraction < 0.95:
+        raise ValueError(f"dead_fraction must be in [0, 0.95), got {dead_fraction}")
+    net = TreePNetwork(config=TreePConfig.paper_case1(), seed=seed)
+    net.build(n)
+    rng = net.rng.get("sweep")
+    surviving = list(net.ids)
+    if dead_fraction > 0:
+        schedule = FailureSchedule(net.ids, rng)
+        for step in schedule.steps():
+            schedule.apply_step(net.network, step)
+            apply_failure_step(net, step.newly_failed, PAPER_POLICY)
+            surviving = list(step.surviving)
+            if step.cumulative_failed_fraction >= dead_fraction:
+                break
+
+    workload = LookupWorkload(rng=net.rng.get("workload"))
+    pairs = workload.pairs(surviving, lookups)
+
+    out: Dict[str, AlgoCost] = {}
+    for algo in ("G", "NG", "NGSA"):
+        before = net.network.stats
+        sent0, bytes0 = before.sent, before.bytes_sent
+        results = net.run_lookup_batch(pairs, algo)
+        stats = net.network.stats
+        found = [r for r in results if r.found]
+        out[algo] = AlgoCost(
+            algorithm=algo,
+            success_rate=len(found) / len(results),
+            avg_hops=float(np.mean([r.hops for r in found])) if found else 0.0,
+            messages_per_lookup=(stats.sent - sent0) / len(results),
+            bytes_per_lookup=(stats.bytes_sent - bytes0) / len(results),
+        )
+    return out
+
+
+def render(
+    n: int = 1024, seed: int = 42, lookups: int = 300, dead_fraction: float = 0.30
+) -> str:
+    out = run(n=n, seed=seed, lookups=lookups, dead_fraction=dead_fraction)
+    return table(
+        ["algorithm", "success", "avg hops", "msgs/lookup", "bytes/lookup"],
+        [[c.algorithm, c.success_rate, c.avg_hops, c.messages_per_lookup,
+          c.bytes_per_lookup] for c in out.values()],
+        title=(f"NGSA cost-benefit (§IV.a), n={n}, "
+               f"{dead_fraction:.0%} dead nodes, {lookups} lookups"),
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(render())

@@ -1,0 +1,11 @@
+"""Measurement: series, histograms and summary statistics.
+
+Everything the experiment drivers record flows through these containers so
+benches and tests can assert on one consistent shape.
+"""
+
+from repro.metrics.histogram import HopHistogram
+from repro.metrics.series import Series
+from repro.metrics.stats import LookupBatchStats, summarize_batch
+
+__all__ = ["HopHistogram", "LookupBatchStats", "Series", "summarize_batch"]

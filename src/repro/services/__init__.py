@@ -1,0 +1,20 @@
+"""Services layered on the TreeP overlay.
+
+The paper positions TreeP as the P2P substrate of the DGET grid middleware,
+providing "resource discovery and load-balancing" (§I) and notes the overlay
+"can be easily modified to provide Distributed Hash Table (DHT)
+functionality".  This package builds those three consumers:
+
+* :mod:`repro.services.dht` — key/value storage with replication, keys
+  hashed into the TreeP ID space and resolved by the overlay's own lookup.
+* :mod:`repro.services.discovery` — attribute-constrained resource
+  discovery walking the capacity aggregates of the hierarchy.
+* :mod:`repro.services.loadbalance` — capacity-aware task placement using
+  the same aggregates.
+"""
+
+from repro.services.dht import TreePDht
+from repro.services.discovery import ResourceDirectory
+from repro.services.loadbalance import LoadBalancer
+
+__all__ = ["LoadBalancer", "ResourceDirectory", "TreePDht"]

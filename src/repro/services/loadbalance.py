@@ -1,0 +1,146 @@
+"""Capacity-aware load balancing on the TreeP hierarchy.
+
+The paper's motivation (§I, §V): the resource-oriented hierarchy lets the
+middleware "take advantage of the different peers' characteristics" and
+"rapidly adapt to different situations (load balancing, failures, network
+traffic)".  This module implements the natural placement scheme on that
+structure: a task enters at any peer and is routed down the hierarchy, at
+each step into the child subtree with the most *remaining* capacity, until
+it lands on a leaf-level peer — the tree analogue of least-loaded-of-``d``
+placement.
+
+Load is tracked as CPU-share units against each node's ``cpu`` capability;
+the balancer keeps subtree totals so each routing decision is O(children).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.treep import TreePNetwork
+
+
+@dataclass(frozen=True)
+class Task:
+    """One unit of placeable work."""
+
+    task_id: int
+    cpu_demand: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.cpu_demand <= 0:
+            raise ValueError(f"cpu_demand must be > 0, got {self.cpu_demand}")
+
+
+@dataclass
+class Placement:
+    task: Task
+    node: Optional[int]
+    hops: int
+
+
+class LoadBalancer:
+    """Hierarchical least-loaded placement over a built TreeP network."""
+
+    def __init__(self, net: TreePNetwork) -> None:
+        if net.layout is None:
+            raise RuntimeError("network must be built first")
+        self.net = net
+        #: CPU-share units currently assigned per node.
+        self.assigned: Dict[int, float] = {i: 0.0 for i in net.ids}
+        self.placements: List[Placement] = []
+
+    # ------------------------------------------------------------- capacity
+    def headroom(self, ident: int) -> float:
+        """Remaining CPU capacity of one node (>= 0)."""
+        cap = self.net.capacities[ident]
+        return max(0.0, cap.cpu * (1.0 - cap.cpu_load) - self.assigned[ident])
+
+    def _subtree_headroom(self, node_id: int, lvl: int) -> float:
+        layout = self.net.layout
+        assert layout is not None
+        total = self.headroom(node_id) if self.net.network.is_up(node_id) else 0.0
+        if lvl == 0:
+            return total
+        for c in layout.children.get((node_id, lvl), ()):
+            total += self._subtree_headroom(c, lvl - 1 if lvl > 1 else 0)
+        return total
+
+    # ------------------------------------------------------------ placement
+    def place(self, task: Task, origin: Optional[int] = None) -> Placement:
+        """Route *task* down the hierarchy to a live peer with headroom."""
+        net = self.net
+        layout = net.layout
+        assert layout is not None
+        hops = 0
+
+        if origin is None:
+            origin = next(i for i in net.ids if net.network.is_up(i))
+
+        # Ascend to the root (placement decisions start from the widest view).
+        chain = [origin] + layout.ancestors(origin)
+        cur = chain[-1]
+        hops += len(chain) - 1
+        lvl = layout.max_level.get(cur, 0)
+
+        while True:
+            candidates: List[Tuple[float, int, int]] = []
+            if net.network.is_up(cur) and self.headroom(cur) >= task.cpu_demand:
+                candidates.append((self.headroom(cur), cur, -1))
+            if lvl > 0:
+                for c in layout.children.get((cur, lvl), ()):
+                    h = self._subtree_headroom(c, lvl - 1 if lvl > 1 else 0)
+                    if h >= task.cpu_demand:
+                        candidates.append((h, c, lvl - 1))
+            if not candidates:
+                placement = Placement(task=task, node=None, hops=hops)
+                self.placements.append(placement)
+                return placement
+            candidates.sort(reverse=True)
+            best_h, best_id, best_lvl = candidates[0]
+            if best_lvl == -1 or best_id == cur:
+                # The current node itself wins: place here.
+                self.assigned[best_id] += task.cpu_demand
+                placement = Placement(task=task, node=best_id, hops=hops)
+                self.placements.append(placement)
+                return placement
+            hops += 1
+            cur, lvl = best_id, best_lvl
+            if lvl == 0:
+                if net.network.is_up(cur) and self.headroom(cur) >= task.cpu_demand:
+                    self.assigned[cur] += task.cpu_demand
+                    placement = Placement(task=task, node=cur, hops=hops)
+                    self.placements.append(placement)
+                    return placement
+                placement = Placement(task=task, node=None, hops=hops)
+                self.placements.append(placement)
+                return placement
+
+    def place_many(self, tasks: List[Task], origin: Optional[int] = None) -> List[Placement]:
+        return [self.place(t, origin) for t in tasks]
+
+    def release(self, task: Task, node: int) -> None:
+        """Return a finished task's share to its node."""
+        self.assigned[node] = max(0.0, self.assigned[node] - task.cpu_demand)
+
+    # -------------------------------------------------------------- metrics
+    def utilisation(self) -> Dict[int, float]:
+        """Assigned / effective capacity per live node."""
+        out = {}
+        for i in self.net.ids:
+            if not self.net.network.is_up(i):
+                continue
+            cap = self.net.capacities[i]
+            eff = cap.cpu * (1.0 - cap.cpu_load)
+            out[i] = self.assigned[i] / eff if eff > 0 else 0.0
+        return out
+
+    def imbalance(self) -> float:
+        """Coefficient of variation of utilisation — 0 is perfectly even."""
+        u = np.array(list(self.utilisation().values()))
+        if u.size == 0 or float(np.mean(u)) == 0.0:
+            return 0.0
+        return float(np.std(u) / np.mean(u))

@@ -1,0 +1,49 @@
+"""Discrete-event simulation substrate for the TreeP reproduction.
+
+This package provides everything the overlay protocols need to run as a
+*packet-switched* simulation with purely local routing decisions (the setting
+the paper's evaluation uses):
+
+* :mod:`repro.sim.engine` — a heap-based discrete-event kernel
+  (:class:`~repro.sim.engine.Simulator`).
+* :mod:`repro.sim.events` — event records and the priority queue.
+* :mod:`repro.sim.network` — a UDP-like lossy datagram network connecting
+  simulated processes by address.
+* :mod:`repro.sim.latency` — pluggable per-link latency models.
+* :mod:`repro.sim.rng` — named, seeded random substreams so every experiment
+  is reproducible bit-for-bit.
+* :mod:`repro.sim.failures` — the paper's 5%-step random-disconnect schedule
+  plus generic Poisson churn processes.
+* :mod:`repro.sim.trace` — structured, filterable event tracing.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.events import Event, EventQueue
+from repro.sim.latency import (
+    ConstantLatency,
+    LatencyModel,
+    LogNormalLatency,
+    UniformLatency,
+)
+from repro.sim.network import Datagram, Network, Process
+from repro.sim.rng import RngRegistry
+from repro.sim.failures import FailureSchedule, PoissonChurn
+from repro.sim.trace import TraceEvent, Tracer
+
+__all__ = [
+    "ConstantLatency",
+    "Datagram",
+    "Event",
+    "EventQueue",
+    "FailureSchedule",
+    "LatencyModel",
+    "LogNormalLatency",
+    "Network",
+    "PoissonChurn",
+    "Process",
+    "RngRegistry",
+    "Simulator",
+    "TraceEvent",
+    "Tracer",
+    "UniformLatency",
+]

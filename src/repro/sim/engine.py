@@ -1,0 +1,221 @@
+"""The discrete-event simulation kernel.
+
+:class:`Simulator` owns the virtual clock and the event queue.  Protocol code
+never sleeps or spins; it schedules callbacks at future virtual times.  The
+kernel is deliberately tiny — the hot loop does one heap pop and one callback
+per event, with no allocation beyond the event records themselves (see the
+hpc-parallel guidance: keep the inner loop allocation-light, profile before
+doing anything cleverer).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.events import Callback, Event, EventQueue
+
+
+class SimulationError(RuntimeError):
+    """Raised when the kernel detects an inconsistent schedule."""
+
+
+class Simulator:
+    """Single-threaded discrete-event simulator.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the virtual clock (seconds; the unit is arbitrary
+        but all built-in latency/maintenance defaults assume seconds).
+
+    Usage
+    -----
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(5.0, lambda: fired.append(sim.now))
+    >>> sim.run()
+    >>> fired
+    [5.0]
+    """
+
+    __slots__ = ("_queue", "_now", "_running", "_event_count", "max_events")
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._queue = EventQueue()
+        self._now = float(start_time)
+        self._running = False
+        self._event_count = 0
+        #: Safety valve: ``run`` raises after this many events (protects
+        #: against accidental infinite keep-alive loops in tests).
+        self.max_events: Optional[int] = None
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> float:
+        """Current virtual time."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of live (non-cancelled) scheduled events."""
+        return len(self._queue)
+
+    @property
+    def events_processed(self) -> int:
+        """Total events fired since construction."""
+        return self._event_count
+
+    # -------------------------------------------------------------- schedule
+    def schedule(self, delay: float, callback: Callback, label: str = "") -> Event:
+        """Schedule *callback* to fire ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r} for event {label!r}")
+        return self._queue.push(self._now + delay, callback, label=label)
+
+    def schedule_at(self, time: float, callback: Callback, label: str = "") -> Event:
+        """Schedule *callback* at absolute virtual *time* (>= now)."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event {label!r} at {time} before now={self._now}"
+            )
+        return self._queue.push(time, callback, label=label)
+
+    def call_soon(self, callback: Callback, label: str = "") -> Event:
+        """Schedule *callback* at the current time (after pending same-time events)."""
+        return self._queue.push(self._now, callback, label=label)
+
+    # ------------------------------------------------------------------- run
+    def step(self) -> bool:
+        """Fire the next event.  Returns ``False`` when the queue is empty."""
+        ev = self._queue.pop()
+        if ev is None:
+            return False
+        if ev.time < self._now:
+            raise SimulationError(
+                f"event {ev.label!r} scheduled at {ev.time} < now {self._now}"
+            )
+        self._now = ev.time
+        self._event_count += 1
+        ev.callback()
+        return True
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue empties or the clock passes *until*.
+
+        When *until* is given, the clock is advanced to exactly *until* even
+        if the last event fires earlier, so periodic processes observe a
+        consistent end time.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            while True:
+                if self.max_events is not None and self._event_count >= self.max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={self.max_events}; "
+                        "runaway periodic process?"
+                    )
+                nxt = self._queue.peek_time()
+                if nxt is None:
+                    break
+                if until is not None and nxt > until:
+                    break
+                self.step()
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+
+    def run_for(self, duration: float) -> None:
+        """Run for *duration* virtual time units from now."""
+        self.run(until=self._now + duration)
+
+    def drain(self, max_events: int = 10_000_000) -> int:
+        """Run until idle, returning the number of events fired.
+
+        Unlike :meth:`run`, enforces a hard event budget so protocol bugs
+        (e.g. two nodes ping-ponging updates forever) fail loudly.
+        """
+        fired = 0
+        while fired < max_events:
+            if not self.step():
+                return fired
+            fired += 1
+        raise SimulationError(f"drain exceeded {max_events} events")
+
+    # ---------------------------------------------------------------- timers
+    def every(
+        self,
+        interval: float,
+        callback: Callback,
+        *,
+        jitter: Callable[[], float] | None = None,
+        label: str = "",
+    ) -> "PeriodicTimer":
+        """Create (and start) a periodic timer firing every *interval*.
+
+        ``jitter()``, when given, is sampled each period and added to the
+        interval — used to de-synchronise keep-alive storms.
+        """
+        timer = PeriodicTimer(self, interval, callback, jitter=jitter, label=label)
+        timer.start()
+        return timer
+
+
+class PeriodicTimer:
+    """Re-arming timer owned by a :class:`Simulator`.
+
+    The timer re-schedules itself *after* invoking the callback, so a
+    callback that calls :meth:`stop` prevents the next occurrence.
+    """
+
+    __slots__ = ("_sim", "interval", "_callback", "_jitter", "_event", "_stopped", "label")
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callback,
+        *,
+        jitter: Callable[[], float] | None = None,
+        label: str = "",
+    ) -> None:
+        if interval <= 0:
+            raise SimulationError(f"periodic interval must be > 0, got {interval}")
+        self._sim = sim
+        self.interval = interval
+        self._callback = callback
+        self._jitter = jitter
+        self._event: Optional[Event] = None
+        self._stopped = True
+        self.label = label
+
+    @property
+    def running(self) -> bool:
+        return not self._stopped
+
+    def start(self) -> None:
+        if not self._stopped:
+            return
+        self._stopped = False
+        self._arm()
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _arm(self) -> None:
+        delay = self.interval + (self._jitter() if self._jitter is not None else 0.0)
+        if delay <= 0:
+            delay = self.interval
+        self._event = self._sim.schedule(delay, self._fire, label=self.label)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self._callback()
+        if not self._stopped:
+            self._arm()

@@ -1,0 +1,124 @@
+"""Event records and the simulator's priority queue.
+
+The queue is a plain binary heap (``heapq``) of small tuples.  Events firing
+at the same timestamp are ordered by a monotonically increasing sequence
+number, which makes every run fully deterministic: two events scheduled at
+the same time always fire in scheduling order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+#: Type of an event callback.  Callbacks receive no arguments; bind state via
+#: closures or ``functools.partial``.
+Callback = Callable[[], None]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Simulated time at which the callback fires.
+    seq:
+        Tie-breaker; assigned by the queue, increases monotonically.
+    callback:
+        Zero-argument callable invoked when the event fires.
+    cancelled:
+        Cancelled events stay in the heap but are skipped when popped
+        (lazy deletion — O(1) cancel).
+    label:
+        Optional human-readable tag used by traces and error messages.
+    """
+
+    time: float
+    seq: int
+    callback: Callback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+    label: str = field(default="", compare=False)
+    _queue: Optional["EventQueue"] = field(default=None, compare=False, repr=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue skips it.  Idempotent."""
+        if not self.cancelled:
+            self.cancelled = True
+            if self._queue is not None:
+                self._queue._live -= 1
+
+
+class EventQueue:
+    """Binary-heap event queue with lazy cancellation.
+
+    >>> q = EventQueue()
+    >>> e = q.push(1.0, lambda: None, label="hello")
+    >>> q.peek_time()
+    1.0
+    >>> e.cancel()
+    >>> q.pop() is None
+    True
+    """
+
+    __slots__ = ("_heap", "_counter", "_live")
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, time: float, callback: Callback, label: str = "") -> Event:
+        """Schedule *callback* at absolute simulated *time*."""
+        if time != time:  # NaN guard: a NaN timestamp would corrupt the heap
+            raise ValueError("event time must not be NaN")
+        ev = Event(time=time, seq=next(self._counter), callback=callback, label=label)
+        ev._queue = self
+        heapq.heappush(self._heap, ev)
+        self._live += 1
+        return ev
+
+    def pop(self) -> Optional[Event]:
+        """Pop the earliest live event, or ``None`` if the heap is empty.
+
+        Cancelled events are discarded transparently; a single ``pop`` may
+        discard many cancelled entries but returns at most one live event.
+        """
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self._live -= 1
+            return ev
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest live event, or ``None`` when empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        for ev in self._heap:
+            ev._queue = None  # detach so late cancels cannot corrupt _live
+        self._heap.clear()
+        self._live = 0
+
+
+def make_callback(fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Callback:
+    """Bind arguments into a zero-argument callback without ``lambda`` noise."""
+
+    def _cb() -> None:
+        fn(*args, **kwargs)
+
+    return _cb

@@ -1,0 +1,165 @@
+"""Failure and churn injection.
+
+Two generators:
+
+* :class:`FailureSchedule` — the paper's evaluation protocol: repeatedly
+  disconnect a fixed fraction (default 5%) of the *initial* population at
+  random, with no repair, until only a small remnant survives.
+* :class:`PoissonChurn` — continuous join/leave churn for the future-work
+  style experiments (Grid-5000 churn stress in §VI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.sim.engine import Simulator
+from repro.sim.network import Network
+
+
+@dataclass(frozen=True)
+class FailureStep:
+    """One step of the paper's sweep."""
+
+    step_index: int
+    newly_failed: tuple[int, ...]
+    cumulative_failed_fraction: float
+    surviving: tuple[int, ...]
+
+
+class FailureSchedule:
+    """The paper's 5%-step random disconnect schedule.
+
+    Parameters
+    ----------
+    population:
+        Addresses present at steady state; fractions are of this set.
+    step_fraction:
+        Fraction of the initial population disconnected per step (paper: 5%).
+    stop_fraction:
+        Sweep ends when the surviving fraction would drop below this
+        (paper: 5% of the initial topology remains).
+    rng:
+        Source of the kill order; the whole permutation is drawn up front so
+        the set of nodes failed by step *k* is independent of how results
+        are consumed.
+    """
+
+    def __init__(
+        self,
+        population: Sequence[int],
+        rng: np.random.Generator,
+        step_fraction: float = 0.05,
+        stop_fraction: float = 0.05,
+    ) -> None:
+        if not population:
+            raise ValueError("population must be non-empty")
+        if not 0 < step_fraction < 1:
+            raise ValueError(f"step_fraction must be in (0,1), got {step_fraction}")
+        if not 0 <= stop_fraction < 1:
+            raise ValueError(f"stop_fraction must be in [0,1), got {stop_fraction}")
+        self.population: List[int] = list(population)
+        self.step_fraction = step_fraction
+        self.stop_fraction = stop_fraction
+        self._order = list(rng.permutation(self.population))
+
+    def steps(self) -> Iterator[FailureStep]:
+        """Yield successive failure steps.
+
+        Step *k* (1-based) has killed ``k * step_fraction`` of the initial
+        population in total.  The final step leaves at least
+        ``stop_fraction`` of the population alive.
+        """
+        n = len(self.population)
+        per_step = max(1, int(round(self.step_fraction * n)))
+        max_killed = int(np.floor((1.0 - self.stop_fraction) * n))
+        killed = 0
+        step_index = 0
+        while killed < max_killed:
+            take = min(per_step, max_killed - killed)
+            newly = tuple(self._order[killed : killed + take])
+            killed += take
+            step_index += 1
+            surviving = tuple(self._order[killed:])
+            yield FailureStep(
+                step_index=step_index,
+                newly_failed=newly,
+                cumulative_failed_fraction=killed / n,
+                surviving=surviving,
+            )
+
+    def apply_step(self, network: Network, step: FailureStep) -> None:
+        """Crash-stop the step's victims on *network*."""
+        for addr in step.newly_failed:
+            network.set_down(addr)
+
+
+class PoissonChurn:
+    """Continuous churn: exponential session and downtime durations.
+
+    Each managed address alternates up/down; transitions call the supplied
+    hooks so the overlay can run its join/leave protocol.  Used by the churn
+    example and the ablation benches, not by the paper's main sweep.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        addresses: Sequence[int],
+        rng: np.random.Generator,
+        mean_uptime: float = 300.0,
+        mean_downtime: float = 60.0,
+        on_leave: Optional[Callable[[int], None]] = None,
+        on_rejoin: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        if mean_uptime <= 0 or mean_downtime <= 0:
+            raise ValueError("mean_uptime and mean_downtime must be > 0")
+        self.sim = sim
+        self.network = network
+        self.addresses = list(addresses)
+        self.rng = rng
+        self.mean_uptime = mean_uptime
+        self.mean_downtime = mean_downtime
+        self.on_leave = on_leave
+        self.on_rejoin = on_rejoin
+        self.leave_count = 0
+        self.rejoin_count = 0
+        self._stopped = False
+
+    def start(self) -> None:
+        """Arm the first leave for every managed address."""
+        for addr in self.addresses:
+            self._arm_leave(addr)
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _arm_leave(self, addr: int) -> None:
+        delay = float(self.rng.exponential(self.mean_uptime))
+        self.sim.schedule(delay, lambda: self._leave(addr), label=f"churn-leave:{addr}")
+
+    def _arm_rejoin(self, addr: int) -> None:
+        delay = float(self.rng.exponential(self.mean_downtime))
+        self.sim.schedule(delay, lambda: self._rejoin(addr), label=f"churn-rejoin:{addr}")
+
+    def _leave(self, addr: int) -> None:
+        if self._stopped or not self.network.is_up(addr):
+            return
+        self.network.set_down(addr)
+        self.leave_count += 1
+        if self.on_leave is not None:
+            self.on_leave(addr)
+        self._arm_rejoin(addr)
+
+    def _rejoin(self, addr: int) -> None:
+        if self._stopped:
+            return
+        self.network.set_up(addr)
+        self.rejoin_count += 1
+        if self.on_rejoin is not None:
+            self.on_rejoin(addr)
+        self._arm_leave(addr)

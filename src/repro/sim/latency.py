@@ -1,0 +1,99 @@
+"""Per-link latency models for the simulated datagram network.
+
+The paper's TreeP is a UDP-based overlay; lookup correctness must not depend
+on delivery timing, but maintenance (keep-alives, countdown elections) does.
+All models draw from a dedicated RNG stream so enabling/disabling other
+randomness never changes message timing.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class LatencyModel(abc.ABC):
+    """Samples one-way datagram latency (seconds) for a (src, dst) pair."""
+
+    @abc.abstractmethod
+    def sample(self, src: int, dst: int) -> float:
+        """Latency for one datagram from *src* to *dst*; must be > 0."""
+
+    def expected(self) -> float:
+        """Mean latency — used to size protocol timeouts."""
+        raise NotImplementedError
+
+
+class ConstantLatency(LatencyModel):
+    """Every datagram takes exactly *value* seconds.
+
+    Useful in unit tests where deterministic arrival order matters.
+    """
+
+    def __init__(self, value: float = 0.01) -> None:
+        if value <= 0:
+            raise ValueError(f"latency must be > 0, got {value}")
+        self.value = float(value)
+
+    def sample(self, src: int, dst: int) -> float:
+        return self.value
+
+    def expected(self) -> float:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"ConstantLatency({self.value})"
+
+
+class UniformLatency(LatencyModel):
+    """Latency uniform in ``[low, high]`` — a crude WAN model."""
+
+    def __init__(self, rng: np.random.Generator, low: float = 0.005, high: float = 0.05) -> None:
+        if not 0 < low <= high:
+            raise ValueError(f"need 0 < low <= high, got {low}, {high}")
+        self.rng = rng
+        self.low = float(low)
+        self.high = float(high)
+
+    def sample(self, src: int, dst: int) -> float:
+        return float(self.rng.uniform(self.low, self.high))
+
+    def expected(self) -> float:
+        return 0.5 * (self.low + self.high)
+
+    def __repr__(self) -> str:
+        return f"UniformLatency([{self.low}, {self.high}])"
+
+
+class LogNormalLatency(LatencyModel):
+    """Heavy-tailed latency — the classical internet RTT shape.
+
+    Parameters are the underlying normal's ``mu``/``sigma``; the sample is
+    ``base + lognormal(mu, sigma)`` so there is a hard propagation floor.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        mu: float = -4.0,
+        sigma: float = 0.5,
+        base: float = 0.002,
+    ) -> None:
+        if sigma <= 0:
+            raise ValueError(f"sigma must be > 0, got {sigma}")
+        if base < 0:
+            raise ValueError(f"base must be >= 0, got {base}")
+        self.rng = rng
+        self.mu = float(mu)
+        self.sigma = float(sigma)
+        self.base = float(base)
+
+    def sample(self, src: int, dst: int) -> float:
+        return self.base + float(self.rng.lognormal(self.mu, self.sigma))
+
+    def expected(self) -> float:
+        return self.base + float(np.exp(self.mu + self.sigma**2 / 2))
+
+    def __repr__(self) -> str:
+        return f"LogNormalLatency(mu={self.mu}, sigma={self.sigma}, base={self.base})"

@@ -1,0 +1,214 @@
+"""A UDP-like datagram network connecting simulated processes.
+
+Semantics (deliberately matching what a UDP overlay sees):
+
+* **Unreliable** — datagrams are dropped with probability ``loss`` and
+  silently when the destination is down or unknown.  No acknowledgements;
+  protocols that need liveness use keep-alives, exactly as TreeP does.
+* **Unordered between pairs only via latency** — each datagram samples its
+  own latency, so two messages to the same peer may arrive out of order.
+* **No connections** — any process can send to any address it knows.
+
+The network also keeps per-message-type counters, which the maintenance
+overhead benches read to compare control traffic between configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Set
+
+import numpy as np
+
+from repro.sim.engine import Simulator
+from repro.sim.latency import ConstantLatency, LatencyModel
+
+
+@dataclass
+class Datagram:
+    """One simulated UDP packet."""
+
+    src: int
+    dst: int
+    payload: Any
+    send_time: float
+    size: int = 0  # approximate wire size in bytes, for overhead accounting
+
+
+class Process:
+    """Base class for anything that receives datagrams.
+
+    Subclasses implement :meth:`on_datagram`.  Registration with the network
+    assigns the address; the address is the node's overlay ID in all the
+    overlays built here (TreeP, Chord, flood).
+    """
+
+    def __init__(self, address: int) -> None:
+        self.address = int(address)
+        self.network: Optional["Network"] = None
+
+    # -- wiring -----------------------------------------------------------
+    def attach(self, network: "Network") -> None:
+        self.network = network
+
+    @property
+    def sim(self) -> Simulator:
+        assert self.network is not None, "process not attached to a network"
+        return self.network.sim
+
+    # -- I/O ---------------------------------------------------------------
+    def send(self, dst: int, payload: Any) -> None:
+        """Fire-and-forget datagram to *dst*."""
+        assert self.network is not None, "process not attached to a network"
+        self.network.send(self.address, dst, payload)
+
+    def on_datagram(self, dgram: Datagram) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic counters."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped_loss: int = 0
+    dropped_down: int = 0
+    dropped_unknown: int = 0
+    dropped_partition: int = 0
+    bytes_sent: int = 0
+    by_type: Dict[str, int] = field(default_factory=dict)
+
+    def drop_total(self) -> int:
+        return (
+            self.dropped_loss
+            + self.dropped_down
+            + self.dropped_unknown
+            + self.dropped_partition
+        )
+
+
+class Network:
+    """The datagram fabric.
+
+    Parameters
+    ----------
+    sim:
+        The event kernel datagrams are scheduled on.
+    latency:
+        Per-datagram latency model (default: 10 ms constant).
+    loss:
+        Independent per-datagram drop probability in ``[0, 1)``.
+    rng:
+        Generator used *only* for loss decisions (timing noise lives in the
+        latency model's own stream).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: Optional[LatencyModel] = None,
+        loss: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if not 0.0 <= loss < 1.0:
+            raise ValueError(f"loss must be in [0, 1), got {loss}")
+        self.sim = sim
+        self.latency = latency if latency is not None else ConstantLatency(0.01)
+        self.loss = float(loss)
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._procs: Dict[int, Process] = {}
+        self._down: Set[int] = set()
+        self.stats = NetworkStats()
+        #: Optional predicate; return True to block delivery (partitions).
+        self.partition_filter: Optional[Callable[[int, int], bool]] = None
+        #: Optional hook observing every delivered datagram (tracing).
+        self.delivery_hook: Optional[Callable[[Datagram], None]] = None
+
+    # ---------------------------------------------------------- membership
+    def register(self, proc: Process) -> None:
+        """Add *proc* to the fabric; its address must be unique."""
+        if proc.address in self._procs:
+            raise ValueError(f"address {proc.address} already registered")
+        self._procs[proc.address] = proc
+        self._down.discard(proc.address)
+        proc.attach(self)
+
+    def unregister(self, address: int) -> None:
+        """Remove a process entirely (it also stops being 'down')."""
+        self._procs.pop(address, None)
+        self._down.discard(address)
+
+    def processes(self) -> list[Process]:
+        return list(self._procs.values())
+
+    def get(self, address: int) -> Optional[Process]:
+        return self._procs.get(address)
+
+    def __contains__(self, address: int) -> bool:
+        return address in self._procs
+
+    def __len__(self) -> int:
+        return len(self._procs)
+
+    # -------------------------------------------------------------- up/down
+    def set_down(self, address: int) -> None:
+        """Crash-stop *address*: it silently drops all traffic."""
+        if address in self._procs:
+            self._down.add(address)
+
+    def set_up(self, address: int) -> None:
+        self._down.discard(address)
+
+    def is_up(self, address: int) -> bool:
+        return address in self._procs and address not in self._down
+
+    def up_addresses(self) -> list[int]:
+        return [a for a in self._procs if a not in self._down]
+
+    def down_count(self) -> int:
+        return len(self._down)
+
+    # ------------------------------------------------------------------ I/O
+    def send(self, src: int, dst: int, payload: Any) -> None:
+        """Inject one datagram.  A down *src* cannot send."""
+        self.stats.sent += 1
+        tname = type(payload).__name__
+        self.stats.by_type[tname] = self.stats.by_type.get(tname, 0) + 1
+        size = getattr(payload, "wire_size", 64)
+        self.stats.bytes_sent += size
+
+        if src in self._down:
+            self.stats.dropped_down += 1
+            return
+        if dst not in self._procs:
+            self.stats.dropped_unknown += 1
+            return
+        if self.partition_filter is not None and self.partition_filter(src, dst):
+            self.stats.dropped_partition += 1
+            return
+        if self.loss > 0.0 and self.rng.random() < self.loss:
+            self.stats.dropped_loss += 1
+            return
+
+        dgram = Datagram(src=src, dst=dst, payload=payload, send_time=self.sim.now, size=size)
+        delay = self.latency.sample(src, dst)
+        self.sim.schedule(delay, lambda: self._deliver(dgram), label=f"dgram:{tname}")
+
+    def _deliver(self, dgram: Datagram) -> None:
+        # Destination may have died or left while the packet was in flight.
+        proc = self._procs.get(dgram.dst)
+        if proc is None:
+            self.stats.dropped_unknown += 1
+            return
+        if dgram.dst in self._down:
+            self.stats.dropped_down += 1
+            return
+        self.stats.delivered += 1
+        if self.delivery_hook is not None:
+            self.delivery_hook(dgram)
+        proc.on_datagram(dgram)
+
+    # ------------------------------------------------------------ accounting
+    def reset_stats(self) -> None:
+        self.stats = NetworkStats()

@@ -1,0 +1,100 @@
+"""Structured event tracing.
+
+A :class:`Tracer` collects :class:`TraceEvent` records (time, category,
+node, detail).  Tracing is off by default everywhere; experiments enable it
+only when debugging, so the RNG isolation guarantee (see
+:mod:`repro.sim.rng`) keeps traced and untraced runs identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    time: float
+    category: str
+    node: int
+    detail: str = ""
+    data: Optional[Dict[str, Any]] = None
+
+    def __str__(self) -> str:
+        extra = f" {self.data}" if self.data else ""
+        return f"[{self.time:10.4f}] {self.category:<12} node={self.node} {self.detail}{extra}"
+
+
+class Tracer:
+    """Bounded in-memory trace sink with category filtering.
+
+    Parameters
+    ----------
+    categories:
+        When given, only these categories are recorded.
+    capacity:
+        Ring-buffer bound; oldest events are discarded beyond it.
+    """
+
+    def __init__(
+        self,
+        categories: Optional[Iterable[str]] = None,
+        capacity: int = 100_000,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        self.categories = set(categories) if categories is not None else None
+        self.capacity = capacity
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+        self.counts: Dict[str, int] = field(default_factory=dict) if False else {}
+
+    def enabled_for(self, category: str) -> bool:
+        return self.categories is None or category in self.categories
+
+    def record(
+        self,
+        time: float,
+        category: str,
+        node: int,
+        detail: str = "",
+        data: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.counts[category] = self.counts.get(category, 0) + 1
+        if not self.enabled_for(category):
+            return
+        if len(self.events) >= self.capacity:
+            self.events.pop(0)
+            self.dropped += 1
+        self.events.append(TraceEvent(time, category, node, detail, data))
+
+    def filter(self, category: Optional[str] = None, node: Optional[int] = None) -> List[TraceEvent]:
+        """Events matching the given category and/or node."""
+        out = self.events
+        if category is not None:
+            out = [e for e in out if e.category == category]
+        if node is not None:
+            out = [e for e in out if e.node == node]
+        return list(out)
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.counts.clear()
+        self.dropped = 0
+
+    def dump(self, limit: int = 50) -> str:
+        """Human-readable tail of the trace."""
+        tail = self.events[-limit:]
+        return "\n".join(str(e) for e in tail)
+
+
+#: A tracer that records nothing; safe default for hot paths.
+class NullTracer(Tracer):
+    def __init__(self) -> None:
+        super().__init__(categories=(), capacity=1)
+
+    def record(self, *args: Any, **kwargs: Any) -> None:  # noqa: D102
+        return
+
+
+NULL_TRACER = NullTracer()

@@ -1,0 +1,5 @@
+"""Terminal rendering of the paper's figures."""
+
+from repro.viz.ascii import line_chart, surface_table, table
+
+__all__ = ["line_chart", "surface_table", "table"]

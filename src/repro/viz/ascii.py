@@ -1,0 +1,106 @@
+"""ASCII rendering: line charts for Figures A-E, tables for the surfaces.
+
+No plotting dependency — every bench prints the same rows/series the paper's
+figures show, directly into the terminal / bench log.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.metrics.series import Series
+
+_MARKS = "*o+x#@%&"
+
+
+def line_chart(
+    series_list: Sequence[Series],
+    width: int = 72,
+    height: int = 18,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render several series on one chart, one glyph per series."""
+    if not series_list:
+        raise ValueError("need at least one series")
+    xs_all = np.concatenate([s.xs() for s in series_list if len(s)])
+    ys_all = np.concatenate([s.ys() for s in series_list if len(s)])
+    if xs_all.size == 0:
+        raise ValueError("all series empty")
+    x_lo, x_hi = float(xs_all.min()), float(xs_all.max())
+    y_lo, y_hi = float(min(0.0, ys_all.min())), float(ys_all.max())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, s in enumerate(series_list):
+        mark = _MARKS[si % len(_MARKS)]
+        for x, y in s.points:
+            col = int(round((x - x_lo) / (x_hi - x_lo) * (width - 1)))
+            row = int(round((y - y_lo) / (y_hi - y_lo) * (height - 1)))
+            grid[height - 1 - row][col] = mark
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(grid):
+        y_val = y_hi - i * (y_hi - y_lo) / (height - 1)
+        lines.append(f"{y_val:8.1f} |{''.join(row)}")
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(f"{'':9}{x_lo:<10.1f}{x_label:^{max(0, width - 20)}}{x_hi:>10.1f}")
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]} {s.label}" for i, s in enumerate(series_list)
+    )
+    lines.append(f"{'':9}{legend}")
+    if y_label:
+        lines.append(f"{'':9}(y: {y_label})")
+    return "\n".join(lines)
+
+
+def table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Fixed-width table with numeric formatting."""
+    def fmt(v: object) -> str:
+        if isinstance(v, float):
+            return f"{v:.2f}"
+        return str(v)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def surface_table(
+    failed_percent: Sequence[float],
+    percent_rows: Sequence[Sequence[float]],
+    max_hops: int = 14,
+    title: str = "",
+) -> str:
+    """Figures F-I as a table: rows = % failed nodes, cols = hop count.
+
+    Cell = % of requests resolved in that many hops.  ``max_hops`` trims
+    the tail (the paper plots 0..30 but mass sits below ~10).
+    """
+    headers = ["dead%"] + [str(h) for h in range(max_hops + 1)]
+    rows: List[List[object]] = []
+    for frac, row in zip(failed_percent, percent_rows):
+        rows.append([f"{frac:.0f}"] + [round(v, 1) for v in row[: max_hops + 1]])
+    return table(headers, rows, title=title)

@@ -1,0 +1,17 @@
+"""Workload generators: lookup traffic, churn schedules, capacity mixes."""
+
+from repro.workloads.capacities import (
+    grid_cluster_mix,
+    homogeneous_mix,
+    measured_p2p_mix,
+)
+from repro.workloads.lookups import LookupWorkload
+from repro.workloads.churn import ChurnSchedule
+
+__all__ = [
+    "ChurnSchedule",
+    "LookupWorkload",
+    "grid_cluster_mix",
+    "homogeneous_mix",
+    "measured_p2p_mix",
+]

@@ -1,0 +1,129 @@
+"""Unit + property tests for the capacity model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.capacity import CapacityDistribution, NodeCapacity, uniform_capacity
+
+
+def test_defaults_valid():
+    c = uniform_capacity()
+    assert c.score() > 0
+
+
+def test_validation_rejects_nonpositive_resources():
+    with pytest.raises(ValueError):
+        NodeCapacity(cpu=0)
+    with pytest.raises(ValueError):
+        NodeCapacity(bandwidth_mbps=-1)
+    with pytest.raises(ValueError):
+        NodeCapacity(uptime_hours=0)
+
+
+def test_validation_rejects_bad_loads():
+    with pytest.raises(ValueError):
+        NodeCapacity(cpu_load=1.5)
+    with pytest.raises(ValueError):
+        NodeCapacity(net_load=-0.1)
+
+
+def test_score_monotone_in_resources():
+    small = NodeCapacity(cpu=1, memory_gb=1, bandwidth_mbps=5)
+    big = NodeCapacity(cpu=16, memory_gb=64, bandwidth_mbps=500)
+    assert big.score() > small.score()
+
+
+def test_load_reduces_score():
+    idle = NodeCapacity(cpu=4)
+    busy = NodeCapacity(cpu=4, cpu_load=0.9, net_load=0.9)
+    assert busy.score() < idle.score()
+
+
+def test_with_load_copies():
+    c = NodeCapacity(cpu=4)
+    c2 = c.with_load(cpu_load=0.5)
+    assert c.cpu_load == 0.0 and c2.cpu_load == 0.5
+    assert c2.cpu == 4
+
+
+class TestMaxChildren:
+    def test_bounds_respected(self):
+        weak = NodeCapacity(cpu=1, memory_gb=0.5, bandwidth_mbps=1,
+                            storage_gb=1, uptime_hours=1)
+        strong = NodeCapacity(cpu=64, memory_gb=512, bandwidth_mbps=10000,
+                              storage_gb=10000, uptime_hours=10000)
+        assert 2 <= weak.max_children(2, 8) <= 8
+        assert 2 <= strong.max_children(2, 8) <= 8
+        assert strong.max_children(2, 8) > weak.max_children(2, 8)
+
+    def test_invalid_bounds(self):
+        c = uniform_capacity()
+        with pytest.raises(ValueError):
+            c.max_children(floor=1)
+        with pytest.raises(ValueError):
+            c.max_children(floor=4, ceiling=3)
+
+
+class TestCountdowns:
+    def test_promotion_shorter_for_stronger(self):
+        weak = NodeCapacity(cpu=1, bandwidth_mbps=1)
+        strong = NodeCapacity(cpu=32, bandwidth_mbps=1000, memory_gb=64)
+        assert strong.promotion_countdown() < weak.promotion_countdown()
+
+    def test_demotion_longer_for_stronger(self):
+        weak = NodeCapacity(cpu=1, bandwidth_mbps=1)
+        strong = NodeCapacity(cpu=32, bandwidth_mbps=1000, memory_gb=64)
+        assert strong.demotion_countdown() > weak.demotion_countdown()
+
+    def test_jitter_bounded(self):
+        c = uniform_capacity()
+        rng = np.random.default_rng(0)
+        base = c.promotion_countdown()
+        jittered = [c.promotion_countdown(rng=rng) for _ in range(100)]
+        assert all(base <= j <= base * 1.1 + 1e-12 for j in jittered)
+
+    def test_scaling_with_base(self):
+        c = uniform_capacity()
+        assert c.promotion_countdown(base=2.0) == pytest.approx(
+            2 * c.promotion_countdown(base=1.0)
+        )
+
+
+class TestDistribution:
+    def test_samples_valid(self):
+        dist = CapacityDistribution(np.random.default_rng(0))
+        for c in dist.sample_many(200):
+            assert c.cpu in (1, 2, 4, 8, 16)
+            assert 0 <= c.cpu_load <= 1
+
+    def test_heterogeneous(self):
+        dist = CapacityDistribution(np.random.default_rng(0))
+        scores = [c.score() for c in dist.sample_many(200)]
+        assert np.std(scores) > 0.1  # genuinely spread out
+
+    def test_deterministic(self):
+        a = CapacityDistribution(np.random.default_rng(5)).sample()
+        b = CapacityDistribution(np.random.default_rng(5)).sample()
+        assert a == b
+
+    def test_count_validation(self):
+        dist = CapacityDistribution(np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            dist.sample_many(0)
+
+
+@given(
+    cpu=st.floats(0.5, 128), mem=st.floats(0.5, 1024), bw=st.floats(0.5, 10000),
+    sto=st.floats(0.5, 10000), up=st.floats(0.5, 10000),
+    l1=st.floats(0, 1), l2=st.floats(0, 1),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_score_positive_and_children_bounded(cpu, mem, bw, sto, up, l1, l2):
+    c = NodeCapacity(cpu=cpu, memory_gb=mem, bandwidth_mbps=bw, storage_gb=sto,
+                     uptime_hours=up, cpu_load=l1, net_load=l2)
+    assert c.score() > 0
+    assert 2 <= c.max_children(2, 8) <= 8
+    assert c.promotion_countdown() > 0
+    assert c.demotion_countdown() > 0

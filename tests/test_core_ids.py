@@ -1,0 +1,121 @@
+"""Unit + property tests for the ID space and assignment strategies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ids import DEFAULT_EXTENT, IdSpace, assign_ids
+
+
+def test_default_extent():
+    assert IdSpace().extent == DEFAULT_EXTENT == 2**32
+
+
+def test_extent_validation():
+    with pytest.raises(ValueError):
+        IdSpace(extent=2)
+
+
+def test_contains():
+    s = IdSpace(extent=100)
+    assert s.contains(0) and s.contains(99)
+    assert not s.contains(100) and not s.contains(-1)
+
+
+def test_distance_is_line_metric():
+    s = IdSpace(extent=1000)
+    assert s.distance(10, 990) == 980  # no wraparound: a line, not a ring
+    assert s.distance(5, 5) == 0
+    assert s.distance(3, 7) == s.distance(7, 3) == 4
+
+
+def test_midpoint():
+    s = IdSpace(extent=100)
+    assert s.midpoint(10, 20) == 15
+    assert s.midpoint(10, 11) == 10  # floor
+
+
+def test_validate_raises_outside():
+    s = IdSpace(extent=10)
+    assert s.validate(5) == 5
+    with pytest.raises(ValueError):
+        s.validate(10)
+
+
+class TestAssignment:
+    def test_random_distinct(self):
+        s = IdSpace()
+        ids = assign_ids(s, 500, np.random.default_rng(0))
+        assert len(set(ids)) == 500
+        assert all(s.contains(i) for i in ids)
+
+    def test_random_deterministic(self):
+        s = IdSpace()
+        a = assign_ids(s, 50, np.random.default_rng(5))
+        b = assign_ids(s, 50, np.random.default_rng(5))
+        assert a == b
+
+    def test_hash_requires_hosts(self):
+        with pytest.raises(ValueError, match="ip, port"):
+            assign_ids(IdSpace(), 3, np.random.default_rng(0), strategy="hash")
+
+    def test_hash_stable_and_distinct(self):
+        s = IdSpace()
+        hosts = [(f"10.0.0.{i}", 4000 + i) for i in range(20)]
+        a = assign_ids(s, 20, np.random.default_rng(0), strategy="hash", hosts=hosts)
+        b = assign_ids(s, 20, np.random.default_rng(99), strategy="hash", hosts=hosts)
+        assert a == b  # independent of the rng: stable across reconnects
+        assert len(set(a)) == 20
+
+    def test_hash_collision_probing(self):
+        s = IdSpace(extent=8)
+        hosts = [("h", 1), ("h", 1), ("h", 1)]  # identical -> forced collisions
+        ids = assign_ids(s, 3, np.random.default_rng(0), strategy="hash", hosts=hosts)
+        assert len(set(ids)) == 3
+
+    def test_balanced_stratified(self):
+        s = IdSpace(extent=1000)
+        ids = assign_ids(s, 10, np.random.default_rng(0), strategy="balanced")
+        assert len(set(ids)) == 10
+        # One ID per stratum of width 100.
+        strata = sorted(i // 100 for i in ids)
+        assert strata == list(range(10))
+
+    def test_balanced_more_even_than_random(self):
+        s = IdSpace()
+        rng = np.random.default_rng(3)
+        bal = sorted(assign_ids(s, 64, rng, strategy="balanced"))
+        rnd = sorted(assign_ids(s, 64, np.random.default_rng(3)))
+        gaps_b = np.diff(bal)
+        gaps_r = np.diff(rnd)
+        assert np.std(gaps_b) < np.std(gaps_r)
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            assign_ids(IdSpace(), 0, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            assign_ids(IdSpace(extent=8), 5, np.random.default_rng(0))
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError, match="unknown strategy"):
+            assign_ids(IdSpace(), 4, np.random.default_rng(0), strategy="bogus")  # type: ignore[arg-type]
+
+
+@given(seed=st.integers(0, 2**31), count=st.integers(2, 200))
+@settings(max_examples=25, deadline=None)
+def test_property_assignment_distinct_and_inside(seed, count):
+    s = IdSpace()
+    ids = assign_ids(s, count, np.random.default_rng(seed))
+    assert len(set(ids)) == count
+    assert all(0 <= i < s.extent for i in ids)
+
+
+@given(a=st.integers(0, 2**32 - 1), b=st.integers(0, 2**32 - 1),
+       c=st.integers(0, 2**32 - 1))
+@settings(max_examples=100, deadline=None)
+def test_property_distance_triangle_inequality(a, b, c):
+    s = IdSpace()
+    assert s.distance(a, c) <= s.distance(a, b) + s.distance(b, c)
+    assert s.distance(a, b) == s.distance(b, a)
+    assert (s.distance(a, b) == 0) == (a == b)

@@ -1,0 +1,196 @@
+"""Unit tests for the G / NG / NGSA routers (pure decision logic)."""
+
+import pytest
+
+from repro.core.config import TreePConfig
+from repro.core.ids import IdSpace
+from repro.core.lookup import (
+    Decision,
+    DecisionKind,
+    LookupAlgorithm,
+    route,
+)
+from repro.core.messages import LookupRequest
+from repro.core.routing_table import RoutingTable
+
+
+class View:
+    """Minimal NodeView for router unit tests."""
+
+    def __init__(self, ident, max_level=0, height=4, extent=2**16):
+        self.ident = ident
+        self.max_level = max_level
+        self.height = height
+        self.config = TreePConfig.paper_case1(space=IdSpace(extent=extent))
+        self.table = RoutingTable(ident)
+
+
+def req(target, origin=0, algo="G", ttl=0, path=(), alternates=(),
+        from_parent_level=0):
+    return LookupRequest(request_id=1, origin=origin, target=target,
+                         algo=algo, ttl=ttl, path=tuple(path),
+                         alternates=tuple(alternates),
+                         from_parent_level=from_parent_level)
+
+
+def test_parse_algorithms():
+    assert LookupAlgorithm.parse("G") is LookupAlgorithm.GREEDY
+    assert LookupAlgorithm.parse("NG") is LookupAlgorithm.NON_GREEDY
+    assert LookupAlgorithm.parse("NGSA") is LookupAlgorithm.NON_GREEDY_FALLBACK
+    assert LookupAlgorithm.parse("GREEDY") is LookupAlgorithm.GREEDY
+    with pytest.raises(ValueError):
+        LookupAlgorithm.parse("XX")
+
+
+def test_self_target_found():
+    v = View(100)
+    d = route(v, req(100))
+    assert d.kind is DecisionKind.FOUND and d.resolved == 100
+
+
+def test_known_target_found():
+    v = View(100)
+    v.table.add_level0(200, 0.0)
+    d = route(v, req(200))
+    assert d.kind is DecisionKind.FOUND and d.resolved == 200
+
+
+def test_ttl_exceeded_discards():
+    v = View(100)
+    d = route(v, req(999, ttl=256))
+    assert d.kind is DecisionKind.DISCARD
+
+
+def test_ttl_at_cap_not_discarded():
+    v = View(100)
+    v.table.add_level0(999, 0.0)
+    assert route(v, req(999, ttl=255)).kind is DecisionKind.FOUND
+
+
+def test_level0_forwards_to_best():
+    v = View(100)
+    v.table.add_level0(110, 0.0)
+    v.table.add_level0(90, 0.0)
+    d = route(v, req(500))
+    assert d.kind is DecisionKind.FORWARD and d.next_hop == 110
+
+
+def test_no_candidates_not_found():
+    v = View(100)
+    d = route(v, req(500))
+    assert d.kind is DecisionKind.NOT_FOUND
+
+
+def test_visited_nodes_excluded():
+    v = View(100)
+    v.table.add_level0(110, 0.0)
+    d = route(v, req(500, path=(110,)))
+    assert d.kind is DecisionKind.NOT_FOUND
+
+
+def test_greedy_prefers_high_level_jump():
+    """A level-3 entry with D=0 beats a slightly-closer level-0 entry."""
+    v = View(0, max_level=1, height=4, extent=2**16)
+    v.table.add_level0(100, 0.0, max_level=0)
+    v.table.add_level(1, 30000, 0.0, max_level=3)  # radius 2^16/2 covers target
+    d = route(v, req(60000))
+    assert d.kind is DecisionKind.FORWARD and d.next_hop == 30000
+
+
+def test_greedy_escalates_through_superiors():
+    """Level > 0 node with no halving candidate forwards to a superior."""
+    v = View(0, max_level=1, height=6, extent=2**16)
+    v.table.add_level(1, 10, 0.0, max_level=1)     # tiny step, no halving
+    v.table.add_superior(500, 0.0, max_level=4)    # big-radius superior
+    d = route(v, req(60000))
+    assert d.kind is DecisionKind.FORWARD and d.next_hop == 500
+
+
+def test_greedy_descends_via_closest_child_at_root():
+    """Root (D=0 to everything) must descend instead of failing."""
+    v = View(32768, max_level=6, height=6, extent=2**16)
+    v.table.add_child(10000, 0.0, max_level=5)
+    v.table.add_child(50000, 0.0, max_level=5)
+    d = route(v, req(60000))
+    assert d.kind is DecisionKind.FORWARD
+    assert d.next_hop == 50000  # the child nearer the target
+
+
+def test_greedy_descent_from_parent_continues():
+    """A request arriving from our own parent keeps descending."""
+    v = View(100, max_level=1, height=4, extent=2**16)
+    v.table.add_child(120, 0.0, max_level=0)
+    d = route(v, req(121, from_parent_level=2))
+    assert d.kind is DecisionKind.FORWARD and d.next_hop == 120
+
+
+def test_ng_takes_first_improving():
+    v = View(1000, extent=2**16)
+    v.table.add_level0(1100, 0.0)
+    v.table.add_level0(900, 0.0)
+    d = route(v, req(5000, algo="NG"))
+    assert d.kind is DecisionKind.FORWARD and d.next_hop == 1100
+    assert d.alternates == ()
+
+
+def test_ng_dead_end_not_found():
+    v = View(1000, extent=2**16)
+    v.table.add_level0(900, 0.0)  # moves away from target
+    d = route(v, req(5000, algo="NG", path=()))
+    # 900 is farther from 5000 than 1000 -> no improving candidate.
+    assert d.kind is DecisionKind.NOT_FOUND
+
+
+def test_ngsa_collects_alternates():
+    v = View(1000, extent=2**16)
+    v.table.add_level0(1100, 0.0)
+    v.table.add_level0(1200, 0.0)
+    v.table.add_level0(2000, 0.0)
+    d = route(v, req(5000, algo="NGSA"))
+    assert d.kind is DecisionKind.FORWARD
+    assert d.next_hop == 2000  # candidates scanned by distance to target
+    assert len(d.alternates) >= 1
+
+
+def test_ngsa_dead_end_uses_alternates():
+    v = View(1000, extent=2**16)
+    v.table.add_level0(900, 0.0)  # no improvement
+    d = route(v, req(5000, algo="NGSA", alternates=(4000, 3000)))
+    assert d.kind is DecisionKind.FORWARD
+    assert d.next_hop == 4000  # nearest alternate to the target
+    assert d.alternates == (3000,)
+
+
+def test_ngsa_exhausted_alternates_not_found():
+    v = View(1000, extent=2**16)
+    d = route(v, req(5000, algo="NGSA", alternates=(4000,), path=(4000,)))
+    assert d.kind is DecisionKind.NOT_FOUND
+
+
+def test_euclidean_fallback_activates_beyond_height():
+    """Beyond the height, metric switches to Euclidean: a big-radius entry
+    loses its D=0 advantage."""
+    v = View(0, max_level=1, height=3, extent=2**16)
+    v.table.add_level(1, 60000, 0.0, max_level=3)  # D=0 to most things
+    v.table.add_level0(3000, 0.0, max_level=0)
+    target = 4000
+    d_normal = route(v, req(target, ttl=1))
+    assert d_normal.next_hop == 60000  # tessellation metric: D=0 wins
+    d_fallback = route(v, req(target, ttl=10))
+    assert d_fallback.next_hop == 3000  # Euclidean: the truly closer node
+
+
+def test_fallback_disabled_by_config():
+    v = View(0, max_level=1, height=3, extent=2**16)
+    v.config = v.config.with_(euclidean_fallback=False)
+    v.table.add_level(1, 60000, 0.0, max_level=3)
+    v.table.add_level0(3000, 0.0, max_level=0)
+    d = route(v, req(4000, ttl=10))
+    assert d.next_hop == 60000  # still the tessellation metric
+
+
+def test_decision_constructors():
+    assert Decision.found(5).resolved == 5
+    assert Decision.forward(7).next_hop == 7
+    assert Decision.not_found().kind is DecisionKind.NOT_FOUND
+    assert Decision.discard().kind is DecisionKind.DISCARD

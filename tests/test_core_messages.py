@@ -1,0 +1,75 @@
+"""Unit tests for message wire-size accounting and immutability."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.messages import (
+    ChildReport,
+    DhtGet,
+    DhtPut,
+    DhtValue,
+    Demote,
+    ElectionStart,
+    Hello,
+    HelloAck,
+    JoinAccept,
+    JoinRedirect,
+    JoinRequest,
+    KeepAlive,
+    KeepAliveAck,
+    LookupReply,
+    LookupRequest,
+    ParentAnnounce,
+    ParentClaim,
+    PromoteGrant,
+    ResourceHit,
+    ResourceQuery,
+    Splice,
+)
+
+
+def test_all_messages_frozen():
+    msgs = [
+        Hello(0, 1.0, 4), HelloAck(0, 1.0, 4),
+        JoinRequest(1, 1.0, 4), JoinRedirect(1, 2), JoinAccept(1, 2, 3),
+        Splice(1, 2, 3), KeepAlive(), KeepAliveAck(), ChildReport(1, 1.0, 0),
+        ElectionStart(0, 1), ParentClaim(1, 2, 1.0), ParentAnnounce(1, 2),
+        PromoteGrant(1, 2), Demote(1, 2),
+        LookupRequest(1, 2, 3, "G"), LookupReply(1, 3, True, 3, 5),
+        DhtPut(1, 2, 3), DhtGet(1, 2, 3), DhtValue(1, 3, True),
+        ResourceQuery(1, 2), ResourceHit(1),
+    ]
+    for m in msgs:
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            m.request_id = 9  # type: ignore[misc]
+        assert m.wire_size > 0
+
+
+def test_keepalive_size_scales_with_entries():
+    empty = KeepAlive()
+    loaded = KeepAlive(entries=tuple((i, 0, 1.0, 4, 0.0) for i in range(10)))
+    assert loaded.wire_size == empty.wire_size + 10 * 16
+
+
+def test_lookup_request_size_scales_with_path():
+    short = LookupRequest(1, 2, 3, "G")
+    long = LookupRequest(1, 2, 3, "G", path=tuple(range(10)),
+                         alternates=tuple(range(4)))
+    assert long.wire_size == short.wire_size + 10 * 8 + 4 * 8
+
+
+def test_parent_announce_size_scales_with_superiors():
+    a = ParentAnnounce(1, 2)
+    b = ParentAnnounce(1, 2, superiors=(1, 2, 3))
+    assert b.wire_size == a.wire_size + 24
+
+
+def test_lookup_request_defaults():
+    r = LookupRequest(1, 2, 3, "NG")
+    assert r.ttl == 0 and r.path == () and r.alternates == ()
+    assert r.from_parent_level == 0
+
+
+def test_resource_hit_size():
+    assert ResourceHit(1, nodes=(1, 2)).wire_size == ResourceHit(1).wire_size + 16

@@ -1,0 +1,318 @@
+"""Protocol-level tests: joins, elections, demotion, keep-alives, lookups
+as real datagrams on small networks."""
+
+import numpy as np
+import pytest
+
+from repro import TreePConfig, TreePNetwork
+from repro.core.capacity import NodeCapacity, uniform_capacity
+from repro.core.maintenance import MaintenanceManager
+from repro.core.messages import Hello, LookupRequest
+from repro.core.node import TreePNode
+from repro.sim.engine import Simulator
+from repro.sim.latency import ConstantLatency
+from repro.sim.network import Network
+
+
+def tiny_net(n=3, **cfg_overrides):
+    """n standalone nodes on a network, no hierarchy built."""
+    cfg = TreePConfig.paper_case1(**cfg_overrides)
+    sim = Simulator()
+    net = Network(sim, latency=ConstantLatency(0.01))
+    nodes = []
+    for i in range(n):
+        node = TreePNode(1000 * (i + 1), uniform_capacity(), cfg)
+        net.register(node)
+        nodes.append(node)
+    return sim, net, nodes
+
+
+class TestHello:
+    def test_hello_exchange_populates_entries(self):
+        sim, net, (a, b, _) = tiny_net()
+        a.send(b.ident, Hello(a.max_level, a.score, a.nc))
+        sim.run()
+        assert b.table.knows(a.ident)
+        assert a.table.knows(b.ident)  # via the ack
+
+    def test_unknown_message_ignored(self):
+        sim, net, (a, b, _) = tiny_net()
+        a.send(b.ident, object())
+        sim.run()  # no crash
+
+
+class TestLookupProtocol:
+    def test_lookup_on_built_network(self, fresh_net):
+        ids = fresh_net.ids
+        res = fresh_net.lookup_sync(ids[0], ids[-1], "G")
+        assert res.found
+        assert res.hops <= 2 * fresh_net.height + 4
+
+    def test_lookup_to_self(self, fresh_net):
+        res = fresh_net.lookup_sync(fresh_net.ids[0], fresh_net.ids[0], "G")
+        assert res.found and res.hops == 0
+
+    def test_lookup_timeout_on_black_hole(self):
+        """Forwarding into a dead node (stale entry) times out."""
+        net = TreePNetwork(config=TreePConfig.paper_case1(lookup_timeout=5.0), seed=3)
+        net.build(32)
+        origin = net.ids[0]
+        # Kill everything except the origin but leave tables stale.
+        for i in net.ids[1:]:
+            net.network.set_down(i)
+        known = set(net.nodes[origin].table.all_known())
+        target = next(i for i in net.ids[1:] if i not in known)
+        res = net.lookup_sync(origin, target, "G")
+        assert not res.found
+        assert res.timed_out or res.hops == 0
+
+    def test_replies_come_back_to_origin(self, fresh_net):
+        ids = fresh_net.ids
+        pend = fresh_net.lookup(ids[3], ids[40], "NG")
+        fresh_net.sim.drain()
+        assert pend.result is not None
+        assert pend.result.origin == ids[3]
+        assert pend.result.target == ids[40]
+
+    def test_on_done_callback(self, fresh_net):
+        got = []
+        node = fresh_net.nodes[fresh_net.ids[0]]
+        node.issue_lookup(fresh_net.ids[10], "G", on_done=got.append)
+        fresh_net.sim.drain()
+        assert len(got) == 1 and got[0].found
+
+    def test_results_accumulate(self, fresh_net):
+        node = fresh_net.nodes[fresh_net.ids[0]]
+        for t in fresh_net.ids[1:5]:
+            node.issue_lookup(t, "G")
+        fresh_net.sim.drain()
+        assert len(node.results) == 4
+
+    def test_all_algorithms_resolve(self, fresh_net):
+        rng = np.random.default_rng(0)
+        for algo in ("G", "NG", "NGSA"):
+            o, t = (int(x) for x in rng.choice(fresh_net.ids, 2, replace=False))
+            assert fresh_net.lookup_sync(o, t, algo).found, algo
+
+
+class TestJoinProtocol:
+    def test_join_places_between_neighbours(self):
+        net = TreePNetwork(config=TreePConfig.paper_case1(), seed=5)
+        net.build(32)
+        sorted_ids = sorted(net.ids)
+        newcomer = (sorted_ids[10] + sorted_ids[11]) // 2
+        assert newcomer not in net.nodes
+        node = net.join_new_node(newcomer, via=sorted_ids[0])
+        net.sim.drain()
+        # The joiner ends up linked to its ID-space neighbours.
+        links = node.table.level0
+        assert links, "joiner got no level-0 links"
+        assert any(abs(l - newcomer) < 2**28 for l in links)
+        # And both sides know each other.
+        for l in links:
+            assert net.nodes[l].table.knows(newcomer)
+
+    def test_join_gets_parent(self):
+        net = TreePNetwork(config=TreePConfig.paper_case1(), seed=5)
+        net.build(32)
+        sorted_ids = sorted(net.ids)
+        newcomer = (sorted_ids[3] + sorted_ids[4]) // 2
+        node = net.join_new_node(newcomer)
+        net.sim.drain()
+        assert node.table.level1_parent() is not None
+
+    def test_duplicate_join_rejected(self):
+        net = TreePNetwork(seed=5)
+        net.build(16)
+        with pytest.raises(ValueError):
+            net.join_new_node(net.ids[0])
+
+
+class TestElectionProtocol:
+    def test_orphan_group_elects_parent(self):
+        """Three orphan level-0 nodes elect the strongest as parent."""
+        cfg = TreePConfig.paper_case1(election_base=1.0)
+        sim = Simulator()
+        net = Network(sim, latency=ConstantLatency(0.01))
+        caps = [NodeCapacity(cpu=1), NodeCapacity(cpu=32, memory_gb=64),
+                NodeCapacity(cpu=2)]
+        nodes = []
+        for i, cap in enumerate(caps):
+            node = TreePNode(1000 * (i + 1), cap, cfg)
+            net.register(node)
+            nodes.append(node)
+        now = 0.0
+        # Wire a line: a-b-c with mutual level-0 knowledge.
+        a, b, c = nodes
+        a.table.add_level0(b.ident, now)
+        b.table.add_level0(a.ident, now)
+        b.table.add_level0(c.ident, now)
+        c.table.add_level0(b.ident, now)
+        a.table.add_level0(c.ident, now)
+        c.table.add_level0(a.ident, now)
+        b.trigger_election(0)
+        sim.run(until=30.0)
+        # The strongest (b) won and the others adopted it.
+        assert b.max_level == 1
+        assert a.table.level1_parent() == b.ident
+        assert c.table.level1_parent() == b.ident
+        # Parent registered its children.
+        assert a.ident in b.table.children
+        assert c.ident in b.table.children
+
+    def test_no_election_with_existing_parent(self):
+        sim, net, (a, b, c) = tiny_net()
+        a.table.add_level0(b.ident, 0.0)
+        a.table.add_level0(c.ident, 0.0)
+        a.table.set_parent(1, b.ident, 0.0)
+        a.trigger_election(0)
+        sim.run(until=10.0)
+        assert a.max_level == 0  # nothing happened
+
+    def test_no_election_below_min_degree(self):
+        sim, net, (a, b, _) = tiny_net()
+        a.table.add_level0(b.ident, 0.0)
+        a.trigger_election(0)
+        sim.run(until=10.0)
+        assert a.max_level == 0
+
+
+class TestDemotionProtocol:
+    def test_underfilled_parent_abdicates(self):
+        cfg = TreePConfig.paper_case1(demotion_base=1.0)
+        sim = Simulator()
+        net = Network(sim, latency=ConstantLatency(0.01))
+        parent = TreePNode(5000, uniform_capacity(), cfg)
+        child = TreePNode(4000, uniform_capacity(), cfg)
+        net.register(parent)
+        net.register(child)
+        parent.max_level = 1
+        parent.children_by_level[1] = [4000]
+        parent.table.add_child(4000, 0.0)
+        child.table.set_parent(1, 5000, 0.0)
+        parent.check_demotion()
+        sim.run(until=60.0)
+        assert parent.max_level == 0
+        assert child.table.level1_parent() is None  # child was notified
+
+    def test_demotion_cancelled_by_new_children(self):
+        cfg = TreePConfig.paper_case1(demotion_base=5.0)
+        sim = Simulator()
+        net = Network(sim, latency=ConstantLatency(0.01))
+        parent = TreePNode(5000, uniform_capacity(), cfg)
+        net.register(parent)
+        parent.max_level = 1
+        parent.children_by_level[1] = [4000]
+        parent.table.add_child(4000, 0.0)
+        parent.check_demotion()
+        # A second child reports before the countdown fires.
+        sim.schedule(0.1, lambda: parent._on_ChildReport(
+            3000, __import__("repro.core.messages", fromlist=["ChildReport"]).ChildReport(3000, 1.0, 0)))
+        sim.run(until=60.0)
+        assert parent.max_level == 1
+
+    def test_keep_upper_policy_retains_level(self):
+        cfg = TreePConfig.paper_case1(demotion_policy="keep-upper",
+                                      demotion_base=1.0)
+        sim = Simulator()
+        net = Network(sim, latency=ConstantLatency(0.01))
+        node = TreePNode(5000, uniform_capacity(), cfg)
+        net.register(node)
+        node.max_level = 2
+        node.children_by_level[2] = []
+        node.check_demotion()
+        sim.run(until=60.0)
+        assert node.max_level == 2  # §VI variant: stays in the upper layer
+
+
+class TestPromotionOnOverflow:
+    def test_overfull_parent_promotes_best_child(self):
+        """A parent receiving more ChildReports than nc splits its cell by
+        promoting the strongest child to its own level (§III.a)."""
+        from repro.core.messages import ChildReport
+
+        cfg = TreePConfig.paper_case1(nc_fixed=2)
+        sim = Simulator()
+        net = Network(sim, latency=ConstantLatency(0.01))
+        parent = TreePNode(50_000, uniform_capacity(), cfg)
+        parent.max_level = 1
+        net.register(parent)
+        kids = []
+        for i, cpu in enumerate([1, 2, 16]):
+            child = TreePNode(10_000 * (i + 1), NodeCapacity(cpu=cpu), cfg)
+            net.register(child)
+            kids.append(child)
+        for child in kids:
+            child.table.set_parent(1, parent.ident, 0.0)
+            child.send(parent.ident, ChildReport(child.ident, child.score, 0))
+        sim.run()
+        # The strongest child (16 cores) was promoted to level 1...
+        strongest = kids[2]
+        assert strongest.max_level == 1
+        # ...and removed from the parent's children, restoring nc.
+        assert len(parent.children_by_level[1]) <= 2
+        assert strongest.ident not in parent.table.children
+        # The old parent is now a bus neighbour at the new level.
+        assert parent.ident in strongest.table.neighbours_at(1)
+
+    def test_stale_grant_ignored(self):
+        from repro.core.messages import PromoteGrant
+
+        cfg = TreePConfig.paper_case1()
+        sim = Simulator()
+        net = Network(sim, latency=ConstantLatency(0.01))
+        node = TreePNode(1000, uniform_capacity(), cfg)
+        net.register(node)
+        node.max_level = 2
+        node._on_PromoteGrant(99, PromoteGrant(child=1000, to_level=1))
+        assert node.max_level == 2  # downgrade attempts are ignored
+        node._on_PromoteGrant(99, PromoteGrant(child=555, to_level=5))
+        assert node.max_level == 2  # grants for other nodes are ignored
+
+
+class TestMaintenanceProtocol:
+    def test_keepalives_refresh_entries(self):
+        net = TreePNetwork(
+            config=TreePConfig.paper_case1(keepalive_interval=1.0, entry_ttl=10.0),
+            seed=2,
+        )
+        net.build(16)
+        net.start_maintenance()
+        net.sim.run_for(5.0)
+        net.stop_maintenance()
+        # Entries on active connections are fresh (touched within ~1-2 periods).
+        now = net.sim.now
+        for node in net.nodes.values():
+            for peer in node.table.active_connections():
+                e = node.table.get(peer)
+                assert e is not None and now - e.last_seen < 4.0
+
+    def test_dead_neighbour_expires(self):
+        net = TreePNetwork(
+            config=TreePConfig.paper_case1(keepalive_interval=1.0, entry_ttl=3.0),
+            seed=2,
+        )
+        net.build(16)
+        victim = net.ids[5]
+        net.network.set_down(victim)
+        net.start_maintenance()
+        net.sim.run_for(15.0)
+        net.stop_maintenance()
+        for i, node in net.nodes.items():
+            if i != victim:
+                assert not node.table.knows(victim), f"{i} still knows the dead node"
+
+    def test_maintenance_traffic_counted(self):
+        net = TreePNetwork(
+            config=TreePConfig.paper_case1(keepalive_interval=1.0), seed=2
+        )
+        net.build(16)
+        net.network.reset_stats()
+        net.start_maintenance()
+        net.sim.run_for(5.0)
+        net.stop_maintenance()
+        stats = net.network.stats
+        assert stats.by_type.get("KeepAlive", 0) > 0
+        assert stats.by_type.get("KeepAliveAck", 0) > 0
+        mm = net.nodes[net.ids[0]].maintenance
+        assert mm is not None and mm.stats.keepalives_sent > 0

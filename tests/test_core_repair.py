@@ -1,0 +1,205 @@
+"""Unit tests for the self-healing machinery (purge / relink / gossip)."""
+
+import numpy as np
+import pytest
+
+from repro import TreePConfig, TreePNetwork
+from repro.core.repair import (
+    FULL_POLICY,
+    PAPER_POLICY,
+    PURGE_ONLY_POLICY,
+    RepairPolicy,
+    apply_failure_step,
+    converge,
+    gossip_round,
+    purge_dead,
+    relink_node,
+)
+
+
+def built(n=64, seed=7):
+    net = TreePNetwork(config=TreePConfig.paper_case1(), seed=seed)
+    net.build(n)
+    return net
+
+
+def kill(net, count, rng_seed=0):
+    rng = np.random.default_rng(rng_seed)
+    victims = [int(v) for v in rng.choice(net.ids, count, replace=False)]
+    net.fail_nodes(victims)
+    return victims
+
+
+class TestPurge:
+    def test_purge_removes_dead_everywhere(self):
+        net = built()
+        victims = kill(net, 10)
+        purge_dead(net)
+        for i, node in net.nodes.items():
+            if net.network.is_up(i):
+                for v in victims:
+                    assert not node.table.knows(v)
+
+    def test_purge_incremental_equals_full(self):
+        net1, net2 = built(), built()
+        victims = kill(net1, 10)
+        kill(net2, 10)
+        purge_dead(net1)
+        purge_dead(net2, newly_dead=victims)
+        for i in net1.ids:
+            if net1.network.is_up(i):
+                assert set(net1.nodes[i].table.all_known()) == set(
+                    net2.nodes[i].table.all_known()
+                )
+
+    def test_purge_prunes_children_lists(self):
+        net = built()
+        victims = set(kill(net, 15))
+        purge_dead(net)
+        for i, node in net.nodes.items():
+            if net.network.is_up(i):
+                for kids in node.children_by_level.values():
+                    assert victims.isdisjoint(kids)
+
+    def test_purge_noop_without_dead(self):
+        net = built()
+        assert purge_dead(net) == 0
+
+
+class TestRelink:
+    def test_relink_restores_two_links(self):
+        net = built()
+        # Kill one direct neighbour of a middle node.
+        mid = sorted(net.ids)[30]
+        node = net.nodes[mid]
+        victim = next(iter(node.table.level0))
+        net.network.set_down(victim)
+        purge_dead(net)
+        relink_node(node, PAPER_POLICY)
+        assert len(node.table.level0) >= 2
+        assert victim not in node.table.level0
+
+    def test_relink_links_nearest_known(self):
+        net = built()
+        mid = sorted(net.ids)[30]
+        node = net.nodes[mid]
+        relink_node(node, PAPER_POLICY)
+        known = node.table.all_known()
+        left = max((i for i in known if i < mid), default=None)
+        right = min((i for i in known if i > mid), default=None)
+        for expected in (left, right):
+            if expected is not None:
+                assert expected in node.table.level0
+
+    def test_purge_only_policy_does_not_relink(self):
+        net = built()
+        mid = sorted(net.ids)[30]
+        node = net.nodes[mid]
+        victim = next(iter(node.table.level0))
+        net.network.set_down(victim)
+        purge_dead(net)
+        before = set(node.table.level0)
+        relink_node(node, PURGE_ONLY_POLICY)
+        assert set(node.table.level0) == before
+
+    def test_adopt_parent_when_enabled(self):
+        net = built()
+        # Find a node whose parent we kill.
+        child = next(i for i in net.ids
+                     if net.nodes[i].table.parents.get(net.nodes[i].max_level + 1))
+        node = net.nodes[child]
+        parent = node.table.parents[node.max_level + 1]
+        net.network.set_down(parent)
+        purge_dead(net)
+        relink_node(node, FULL_POLICY)
+        new_parent = node.table.parents.get(node.max_level + 1)
+        if new_parent is not None:  # a replacement existed in its knowledge
+            assert new_parent != parent
+            assert net.network.is_up(new_parent)
+
+
+class TestGossip:
+    def test_gossip_spreads_indirect_neighbours(self):
+        net = built()
+        gossip_round(net, PAPER_POLICY)
+        sorted_ids = sorted(net.ids)
+        mid = sorted_ids[30]
+        node = net.nodes[mid]
+        # After one round the node knows its neighbours' neighbours.
+        assert node.table.level0_indirect, "no indirect knowledge gained"
+
+    def test_gossip_keeps_tables_bounded(self):
+        net = built(n=128)
+        sizes_before = [net.nodes[i].table.size() for i in net.ids]
+        for _ in range(5):
+            gossip_round(net, FULL_POLICY)
+        sizes_after = [net.nodes[i].table.size() for i in net.ids]
+        # Bounded: repeated gossip cannot blow tables up indefinitely.
+        assert np.mean(sizes_after) < np.mean(sizes_before) * 4
+        assert max(sizes_after) < 64
+
+    def test_gossip_never_imports_dead(self):
+        net = built()
+        victims = set(kill(net, 10))
+        purge_dead(net)
+        for _ in range(3):
+            gossip_round(net, PAPER_POLICY)
+        for i, node in net.nodes.items():
+            if net.network.is_up(i):
+                assert victims.isdisjoint(node.table.all_known())
+
+
+class TestApplyFailureStep:
+    def test_survivors_keep_resolving(self):
+        net = built(n=128)
+        victims = kill(net, 38)  # ~30%
+        apply_failure_step(net, victims, PAPER_POLICY)
+        alive = net.alive_ids()
+        rng = np.random.default_rng(1)
+        ok = 0
+        for _ in range(40):
+            o, t = (int(x) for x in rng.choice(alive, 2, replace=False))
+            ok += net.lookup_sync(o, t, "G").found
+        assert ok >= 30  # >= 75% at 30% dead
+
+    def test_policies_ordered_by_strength(self):
+        """More healing -> no worse success rate."""
+        rates = {}
+        for name, policy in [("purge", PURGE_ONLY_POLICY),
+                             ("paper", PAPER_POLICY),
+                             ("full", FULL_POLICY)]:
+            net = built(n=128)
+            victims = kill(net, 38)
+            apply_failure_step(net, victims, policy)
+            alive = net.alive_ids()
+            rng = np.random.default_rng(1)
+            ok = 0
+            for _ in range(40):
+                o, t = (int(x) for x in rng.choice(alive, 2, replace=False))
+                ok += net.lookup_sync(o, t, "G").found
+            rates[name] = ok
+        # Small-n batches are noisy; allow generous slack on the ordering.
+        assert rates["purge"] <= rates["paper"] + 6
+        assert rates["paper"] <= rates["full"] + 6
+        # But the weakest policy must not beat the strongest.
+        assert rates["purge"] <= rates["full"] + 4
+
+    def test_converge_wrapper(self):
+        net = built()
+        victims = kill(net, 10)
+        converge(net, newly_failed=victims)
+        for i, node in net.nodes.items():
+            if net.network.is_up(i):
+                assert set(victims).isdisjoint(node.table.all_known())
+
+
+class TestRepairPolicy:
+    def test_paper_policy_values(self):
+        assert PAPER_POLICY.relink_level0
+        assert PAPER_POLICY.relink_buses
+        assert not PAPER_POLICY.adopt_parents
+        assert PAPER_POLICY.gossip_rounds == 1
+
+    def test_policies_frozen(self):
+        with pytest.raises(Exception):
+            PAPER_POLICY.gossip_rounds = 5  # type: ignore[misc]

@@ -1,0 +1,184 @@
+"""Unit + property tests for the six-table routing state."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.routing_table import Entry, RoutingTable
+
+
+@pytest.fixture()
+def table():
+    return RoutingTable(owner=1000)
+
+
+def test_upsert_creates_and_refreshes(table):
+    e = table.upsert(5, now=1.0, max_level=2, score=3.0)
+    assert e.max_level == 2 and e.last_seen == 1.0
+    e2 = table.upsert(5, now=2.0, score=4.0)
+    assert e2 is e
+    assert e.last_seen == 2.0 and e.score == 4.0 and e.max_level == 2
+
+
+def test_self_entry_rejected(table):
+    with pytest.raises(ValueError):
+        table.upsert(1000, now=0.0)
+
+
+def test_touch_never_regresses(table):
+    e = table.upsert(5, now=5.0)
+    table.touch(5, 3.0)
+    assert e.last_seen == 5.0
+    table.touch(5, 7.0)
+    assert e.last_seen == 7.0
+
+
+def test_roles_tracked(table):
+    table.add_level0(1, 0.0)
+    table.add_level0_indirect(2, 0.0)
+    table.add_level(1, 3, 0.0)
+    table.add_child(4, 0.0)
+    table.add_neighbour_child(5, 0.0)
+    table.set_parent(1, 6, 0.0)
+    table.add_superior(7, 0.0)
+    assert table.roles_of(1) == {"level0"}
+    assert table.roles_of(2) == {"level0-indirect"}
+    assert table.roles_of(3) == {"level1"}
+    assert table.roles_of(4) == {"child"}
+    assert table.roles_of(5) == {"neighbour-child"}
+    assert table.roles_of(6) == {"parent"}
+    assert table.roles_of(7) == {"superior"}
+
+
+def test_multiple_roles_one_entry(table):
+    table.add_level0(9, 1.0)
+    table.add_superior(9, 2.0)
+    assert table.size() == 1
+    assert table.roles_of(9) == {"level0", "superior"}
+    assert table.get(9).last_seen == 2.0
+
+
+def test_add_level_zero_rejected(table):
+    with pytest.raises(ValueError):
+        table.add_level(0, 5, 0.0)
+
+
+def test_set_parent_level_validation(table):
+    with pytest.raises(ValueError):
+        table.set_parent(0, 5, 0.0)
+
+
+def test_forget_removes_everywhere(table):
+    table.add_level0(5, 0.0)
+    table.add_level(2, 5, 0.0)
+    table.add_child(5, 0.0)
+    table.set_parent(3, 5, 0.0)
+    table.add_superior(5, 0.0)
+    table.forget(5)
+    assert not table.knows(5)
+    assert table.roles_of(5) == set()
+    assert table.parents == {}
+
+
+def test_expire_drops_stale(table):
+    table.add_level0(1, now=0.0)
+    table.add_level0(2, now=10.0)
+    stale = table.expire(now=15.0, entry_ttl=10.0)
+    assert stale == [1]
+    assert table.knows(2) and not table.knows(1)
+
+
+def test_level1_parent(table):
+    assert table.level1_parent() is None
+    table.set_parent(1, 77, 0.0)
+    assert table.level1_parent() == 77
+
+
+def test_neighbours_at(table):
+    table.add_level0(1, 0.0)
+    table.add_level(2, 5, 0.0)
+    assert table.neighbours_at(0) == {1}
+    assert table.neighbours_at(2) == {5}
+    assert table.neighbours_at(9) == set()
+
+
+def test_active_connections_excludes_replicated(table):
+    table.add_level0(1, 0.0)
+    table.add_level(1, 2, 0.0)
+    table.set_parent(2, 3, 0.0)
+    table.add_child(4, 0.0)
+    table.add_superior(5, 0.0)            # replicated knowledge
+    table.add_neighbour_child(6, 0.0)     # replicated knowledge
+    table.add_level0_indirect(7, 0.0)     # replicated knowledge
+    assert table.active_connections() == {1, 2, 3, 4}
+
+
+def test_trim_to_roles(table):
+    table.add_level0(1, 0.0)
+    table.upsert(99, 0.0)  # metadata with no role
+    assert table.size() == 2
+    dropped = table.trim_to_roles()
+    assert dropped == 1
+    assert table.knows(1) and not table.knows(99)
+
+
+def test_delta_since(table):
+    table.add_level0(1, now=1.0)
+    table.add_level0(2, now=5.0)
+    delta = table.delta_since(2.0)
+    assert [t[0] for t in delta] == [2]
+    assert len(table.delta_since(0.0)) == 2
+
+
+def test_merge_delta_skips_self_and_stale(table):
+    table.upsert(5, now=10.0, score=1.0)
+    merged = table.merge_delta(
+        [(1000, 0, 1.0, 4, 20.0),   # self: skipped
+         (5, 0, 9.9, 4, 5.0),       # older than ours: skipped
+         (6, 1, 2.0, 4, 12.0)],     # new
+        now=15.0,
+    )
+    assert merged == 1
+    assert table.get(5).score == 1.0
+    assert table.get(6).max_level == 1
+
+
+def test_entry_as_tuple_roundtrip():
+    e = Entry(ident=3, max_level=2, score=1.5, nc=4, last_seen=9.0)
+    assert e.as_tuple() == (3, 2, 1.5, 4, 9.0)
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["level0", "level", "child", "superior", "forget"]),
+                  st.integers(0, 50)),
+        max_size=60,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_property_size_equals_distinct_known(ops):
+    """size() always equals the number of distinct known peers, and the
+    owner never appears."""
+    t = RoutingTable(owner=999)
+    known = set()
+    for op, ident in ops:
+        if ident == 999:
+            continue
+        if op == "forget":
+            t.forget(ident)
+            known.discard(ident)
+        elif op == "level0":
+            t.add_level0(ident, 0.0)
+            known.add(ident)
+        elif op == "level":
+            t.add_level(1, ident, 0.0)
+            known.add(ident)
+        elif op == "child":
+            t.add_child(ident, 0.0)
+            known.add(ident)
+        elif op == "superior":
+            t.add_superior(ident, 0.0)
+            known.add(ident)
+    assert t.size() == len(known)
+    assert set(t.all_known()) == known
+    assert 999 not in t.all_known()

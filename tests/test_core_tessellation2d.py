@@ -1,0 +1,166 @@
+"""Tests for the §VI 2-D Voronoi extension."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.capacity import CapacityDistribution
+from repro.core.config import TreePConfig
+from repro.core.tessellation2d import (
+    Layout2D,
+    PlaneSpace,
+    assign_points,
+    build_layout_2d,
+    cell_neighbour_counts,
+    greedy_route_2d,
+    nearest_site,
+    tessellate,
+)
+
+SPACE = PlaneSpace(extent=1.0)
+
+
+def population(n, seed=0):
+    rng = np.random.default_rng(seed)
+    pts = assign_points(SPACE, n, rng)
+    dist = CapacityDistribution(rng)
+    caps = {p: dist.sample() for p in pts}
+    return pts, caps
+
+
+class TestPlaneSpace:
+    def test_distance_euclidean(self):
+        assert SPACE.distance((0, 0), (0.3, 0.4)) == pytest.approx(0.5)
+
+    def test_contains_and_validate(self):
+        assert SPACE.contains((0.5, 0.5))
+        assert not SPACE.contains((1.0, 0.5))
+        with pytest.raises(ValueError):
+            SPACE.validate((1.5, 0.0))
+
+    def test_extent_validation(self):
+        with pytest.raises(ValueError):
+            PlaneSpace(extent=0)
+
+
+class TestAssignment:
+    def test_distinct_inside(self):
+        pts = assign_points(SPACE, 200, np.random.default_rng(1))
+        assert len(set(pts)) == 200
+        assert all(SPACE.contains(p) for p in pts)
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            assign_points(SPACE, 0, np.random.default_rng(0))
+
+
+class TestNearestSite:
+    def test_matches_bruteforce(self):
+        rng = np.random.default_rng(2)
+        sites = assign_points(SPACE, 20, rng)
+        for p in assign_points(SPACE, 50, rng):
+            fast = nearest_site(SPACE, sites, p)
+            brute = min(sites, key=lambda s: SPACE.distance(s, p))
+            assert SPACE.distance(fast, p) == pytest.approx(SPACE.distance(brute, p))
+
+    def test_empty_sites_rejected(self):
+        with pytest.raises(ValueError):
+            nearest_site(SPACE, [], (0.5, 0.5))
+
+
+class TestTessellate:
+    def test_partition_complete(self):
+        rng = np.random.default_rng(3)
+        sites = assign_points(SPACE, 10, rng)
+        points = assign_points(SPACE, 100, rng)
+        cells = tessellate(SPACE, sites, points)
+        assigned = [p for kids in cells.values() for p in kids]
+        assert sorted(assigned) == sorted(points)
+        assert set(cells) == set(sites)
+
+    def test_assignment_is_nearest(self):
+        rng = np.random.default_rng(4)
+        sites = assign_points(SPACE, 8, rng)
+        points = assign_points(SPACE, 40, rng)
+        cells = tessellate(SPACE, sites, points)
+        for s, kids in cells.items():
+            for k in kids:
+                d_own = SPACE.distance(s, k)
+                assert all(SPACE.distance(o, k) >= d_own - 1e-12 for o in sites)
+
+
+class TestBuild2D:
+    def test_layout_valid(self):
+        pts, caps = population(128)
+        layout = build_layout_2d(pts, caps, TreePConfig.paper_case1())
+        layout.validate(SPACE)
+        assert layout.height >= 1
+        sizes = [len(l) for l in layout.levels]
+        assert all(a > b for a, b in zip(sizes, sizes[1:]))
+
+    def test_nc_respected(self):
+        pts, caps = population(128)
+        layout = build_layout_2d(pts, caps, TreePConfig.paper_case1())
+        for (s, j), kids in layout.children.items():
+            assert len(kids) <= 4
+
+    def test_parents_point_up(self):
+        pts, caps = population(64)
+        layout = build_layout_2d(pts, caps, TreePConfig.paper_case1())
+        for p in pts:
+            par = layout.parent[p]
+            if par is not None:
+                assert layout.max_level[par] > layout.max_level[p]
+
+    def test_capacity_aware_promotion(self):
+        pts, caps = population(256)
+        layout = build_layout_2d(pts, caps, TreePConfig.paper_case1())
+        base = np.mean([caps[p].score() for p in layout.levels[0]])
+        upper = np.mean([caps[p].score() for p in layout.levels[1]])
+        assert upper > base
+
+    def test_validation_errors(self):
+        pts, caps = population(4)
+        with pytest.raises(ValueError):
+            build_layout_2d(pts[:1], caps, TreePConfig.paper_case1())
+
+
+class TestSection6Claims:
+    def test_2d_cells_have_more_neighbours_than_1d(self):
+        """§VI's reliability argument: Voronoi cells in the plane border
+        more cells than a 1-D bus segment's two."""
+        pts, caps = population(256, seed=9)
+        layout = build_layout_2d(pts, caps, TreePConfig.paper_case1())
+        counts = cell_neighbour_counts(SPACE, layout, level=1, sample=512,
+                                       rng=np.random.default_rng(1))
+        mean_deg = np.mean(list(counts.values()))
+        assert mean_deg > 2.0  # strictly better than the 1-D bus
+
+    def test_greedy_route_reaches_targets(self):
+        pts, caps = population(128, seed=5)
+        layout = build_layout_2d(pts, caps, TreePConfig.paper_case1())
+        rng = np.random.default_rng(0)
+        reached = 0
+        hops_all = []
+        for _ in range(30):
+            s, t = (pts[int(i)] for i in rng.choice(len(pts), 2, replace=False))
+            ok, hops, _ = greedy_route_2d(SPACE, layout, s, t)
+            reached += ok
+            if ok:
+                hops_all.append(hops)
+        assert reached >= 25
+        assert np.mean(hops_all) <= 20
+
+
+@given(n_sites=st.integers(2, 15), n_points=st.integers(1, 60),
+       seed=st.integers(0, 100))
+@settings(max_examples=25, deadline=None)
+def test_property_tessellation_partitions(n_sites, n_points, seed):
+    rng = np.random.default_rng(seed)
+    sites = assign_points(SPACE, n_sites, rng)
+    points = assign_points(SPACE, n_points, rng)
+    cells = tessellate(SPACE, sites, points)
+    assigned = [p for kids in cells.values() for p in kids]
+    assert len(assigned) == n_points
+    assert sorted(assigned) == sorted(points)

@@ -1,0 +1,158 @@
+"""Unit tests for the TreePNetwork orchestration API."""
+
+import numpy as np
+import pytest
+
+from repro import TreePConfig, TreePNetwork
+from repro.core.capacity import uniform_capacity
+from repro.core.ids import IdSpace
+
+
+def test_build_returns_valid_layout():
+    net = TreePNetwork(seed=1)
+    layout = net.build(64)
+    layout.validate(net.config)
+    assert len(net.nodes) == 64
+    assert net.height == layout.height
+
+
+def test_build_twice_rejected():
+    net = TreePNetwork(seed=1)
+    net.build(16)
+    with pytest.raises(RuntimeError):
+        net.build(16)
+
+
+def test_build_deterministic():
+    a, b = TreePNetwork(seed=9), TreePNetwork(seed=9)
+    a.build(64)
+    b.build(64)
+    assert a.ids == b.ids
+    assert a.layout.levels == b.layout.levels
+
+
+def test_build_from_explicit_ids():
+    ids = [100, 200, 300, 400, 500, 600, 700, 800]
+    caps = {i: uniform_capacity() for i in ids}
+    net = TreePNetwork(config=TreePConfig.paper_case1(space=IdSpace(extent=1000)))
+    layout = net.build_from(ids, caps)
+    assert layout.levels[0] == ids
+
+
+def test_capacities_length_checked():
+    net = TreePNetwork(seed=1)
+    with pytest.raises(ValueError):
+        net.build(8, capacities=[uniform_capacity()] * 3)
+
+
+class TestTableInstallation:
+    @pytest.fixture(scope="class")
+    def net(self):
+        net = TreePNetwork(seed=4)
+        net.build(128)
+        return net
+
+    def test_every_node_has_min_level0_connections(self, net):
+        for i, node in net.nodes.items():
+            assert len(node.table.level0) >= 2, f"node {i} under-connected"
+
+    def test_level0_links_are_adjacent(self, net):
+        sorted_ids = sorted(net.ids)
+        for idx, i in enumerate(sorted_ids[1:-1], start=1):
+            node = net.nodes[i]
+            assert sorted_ids[idx - 1] in node.table.level0
+            assert sorted_ids[idx + 1] in node.table.level0
+
+    def test_every_node_has_parent_or_is_root(self, net):
+        root = net.layout.levels[-1][0]
+        for i, node in net.nodes.items():
+            if i == root:
+                continue
+            assert node.table.parents.get(node.max_level + 1) is not None
+
+    def test_children_match_layout(self, net):
+        for (p, lvl), kids in net.layout.children.items():
+            node = net.nodes[p]
+            assert node.children_by_level.get(lvl, []) == kids
+            for k in kids:
+                assert k in node.table.children
+
+    def test_superiors_are_ancestors_plus_parents_neighbours(self, net):
+        for i in net.ids[:30]:
+            node = net.nodes[i]
+            ancestors = set(net.layout.ancestors(i))
+            assert ancestors - {i} <= node.table.superiors | set(
+                node.table.parents.values()
+            )
+
+    def test_bus_links_on_own_levels(self, net):
+        for lvl in range(1, net.height):
+            bus = net.layout.levels[lvl]
+            for idx, i in enumerate(bus):
+                node = net.nodes[i]
+                neigh = node.table.neighbours_at(lvl)
+                if idx > 0:
+                    assert bus[idx - 1] in neigh
+                if idx < len(bus) - 1:
+                    assert bus[idx + 1] in neigh
+
+    def test_routing_table_sizes_small(self, net):
+        """§III.e: tables stay logarithmic-ish, not O(n)."""
+        sizes = net.routing_table_sizes()
+        assert np.mean(list(sizes.values())) < 20
+        assert max(sizes.values()) < 70
+
+    def test_level0_majority_has_few_connections(self, net):
+        """Most nodes are leaf-only and maintain ~l0+1 connections (§III.e)."""
+        conns = net.active_connection_counts()
+        leaf_counts = [c for i, c in conns.items()
+                       if net.nodes[i].max_level == 0]
+        assert np.mean(leaf_counts) <= 4.0
+
+    def test_height_estimates_installed(self, net):
+        for node in net.nodes.values():
+            assert node.height == net.height
+
+
+class TestLookups:
+    def test_lookup_sync_found(self, small_net):
+        r = small_net.lookup_sync(small_net.ids[0], small_net.ids[5])
+        assert r.found
+
+    def test_unknown_origin_raises(self, small_net):
+        with pytest.raises(KeyError):
+            small_net.lookup(123456789, small_net.ids[0])
+
+    def test_batch_order_preserved(self, small_net):
+        pairs = [(small_net.ids[0], small_net.ids[i]) for i in range(1, 6)]
+        results = small_net.run_lookup_batch(pairs, "G")
+        assert [r.target for r in results] == [t for _, t in pairs]
+
+    def test_hop_trails_recorded(self, fresh_net):
+        known = set(fresh_net.nodes[fresh_net.ids[0]].table.all_known())
+        target = next(i for i in fresh_net.ids[1:] if i not in known)
+        fresh_net.lookup_sync(fresh_net.ids[0], target, "G")
+        assert fresh_net.trails, "no trails recorded"
+        assert max(t.max_ttl for t in fresh_net.trails.values()) >= 1
+
+
+class TestFailureHelpers:
+    def test_fail_nodes_and_alive_ids(self, fresh_net):
+        victims = fresh_net.ids[:5]
+        fresh_net.fail_nodes(victims)
+        alive = fresh_net.alive_ids()
+        assert set(alive) == set(fresh_net.ids[5:])
+
+
+def test_loss_still_converges():
+    """Lookups succeed (or time out cleanly) under 5% datagram loss."""
+    net = TreePNetwork(config=TreePConfig.paper_case1(lookup_timeout=10.0),
+                       seed=11, loss=0.05)
+    net.build(64)
+    rng = np.random.default_rng(0)
+    results = []
+    for _ in range(30):
+        o, t = (int(x) for x in rng.choice(net.ids, 2, replace=False))
+        results.append(net.lookup_sync(o, t, "G"))
+    found = sum(r.found for r in results)
+    assert found >= 20  # most succeed; losses time out without hanging

@@ -1,0 +1,94 @@
+"""Unit tests for hierarchical load balancing."""
+
+import numpy as np
+import pytest
+
+from repro import TreePConfig, TreePNetwork
+from repro.services.loadbalance import LoadBalancer, Placement, Task
+from repro.workloads import grid_cluster_mix, homogeneous_mix
+
+
+@pytest.fixture()
+def lb_net():
+    net = TreePNetwork(config=TreePConfig.paper_case2(), seed=17)
+    rng = np.random.default_rng(17)
+    net.build(128, capacities=grid_cluster_mix(128, rng, server_fraction=0.2))
+    return net, LoadBalancer(net)
+
+
+def test_task_validation():
+    with pytest.raises(ValueError):
+        Task(1, cpu_demand=0)
+
+
+def test_requires_built_network():
+    with pytest.raises(RuntimeError):
+        LoadBalancer(TreePNetwork(seed=0))
+
+
+def test_place_lands_on_live_node_with_headroom(lb_net):
+    net, lb = lb_net
+    p = lb.place(Task(1, 1.0))
+    assert p.node is not None
+    assert net.network.is_up(p.node)
+    cap = net.capacities[p.node]
+    assert cap.cpu * (1 - cap.cpu_load) >= 1.0
+
+
+def test_assignment_tracked(lb_net):
+    net, lb = lb_net
+    p = lb.place(Task(1, 2.0))
+    assert lb.assigned[p.node] == 2.0
+
+
+def test_release_returns_capacity(lb_net):
+    net, lb = lb_net
+    t = Task(1, 2.0)
+    p = lb.place(t)
+    lb.release(t, p.node)
+    assert lb.assigned[p.node] == 0.0
+
+
+def test_placements_prefer_strong_nodes(lb_net):
+    net, lb = lb_net
+    placements = lb.place_many([Task(i, 2.0) for i in range(50)])
+    placed = [p.node for p in placements if p.node is not None]
+    assert placed
+    chosen_cpu = np.mean([net.capacities[n].cpu for n in placed])
+    population_cpu = np.mean([c.cpu for c in net.capacities.values()])
+    assert chosen_cpu > population_cpu
+
+
+def test_saturation_returns_none():
+    net = TreePNetwork(config=TreePConfig.paper_case1(), seed=3)
+    net.build(16, capacities=homogeneous_mix(16, cpu=1.0))
+    lb = LoadBalancer(net)
+    results = lb.place_many([Task(i, 1.0) for i in range(40)])
+    placed = [p for p in results if p.node is not None]
+    unplaced = [p for p in results if p.node is None]
+    assert placed and unplaced  # capacity exhausted eventually
+    assert len(placed) <= 16
+
+
+def test_utilisation_and_imbalance(lb_net):
+    net, lb = lb_net
+    lb.place_many([Task(i, 0.5) for i in range(100)])
+    util = lb.utilisation()
+    assert all(0 <= u <= 1.0 + 1e-9 for u in util.values())
+    assert lb.imbalance() >= 0.0
+
+
+def test_dead_nodes_not_used(lb_net):
+    net, lb = lb_net
+    victims = net.ids[:40]
+    net.fail_nodes(victims)
+    placements = lb.place_many([Task(i, 0.5) for i in range(40)])
+    for p in placements:
+        if p.node is not None:
+            assert p.node not in victims
+
+
+def test_hops_bounded_by_tree(lb_net):
+    net, lb = lb_net
+    p = lb.place(Task(1, 0.5), origin=net.ids[0])
+    assert 0 <= p.hops <= 3 * (net.height + 1)

@@ -1,0 +1,188 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.engine import PeriodicTimer, SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_custom_start_time():
+    assert Simulator(start_time=100.0).now == 100.0
+
+
+def test_schedule_and_run():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [5.0]
+    assert sim.now == 5.0
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(10.0, lambda: fired.append(10))
+    sim.run(until=5.0)
+    assert fired == [1]
+    assert sim.now == 5.0  # clock advanced to the horizon
+    sim.run()
+    assert fired == [1, 10]
+
+
+def test_run_for_advances_relative():
+    sim = Simulator()
+    sim.run_for(3.0)
+    sim.run_for(2.0)
+    assert sim.now == 5.0
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError, match="negative delay"):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError, match="before now"):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_call_soon_runs_at_current_time():
+    sim = Simulator()
+    times = []
+    sim.schedule(2.0, lambda: sim.call_soon(lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [2.0]
+
+
+def test_events_cascade():
+    sim = Simulator()
+    fired = []
+
+    def first():
+        fired.append("first")
+        sim.schedule(1.0, lambda: fired.append("second"))
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert fired == ["first", "second"]
+    assert sim.now == 2.0
+
+
+def test_step_returns_false_when_empty():
+    assert Simulator().step() is False
+
+
+def test_drain_returns_event_count():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(float(i), lambda: None)
+    assert sim.drain() == 5
+
+
+def test_drain_enforces_budget():
+    sim = Simulator()
+
+    def rearm():
+        sim.schedule(1.0, rearm)
+
+    sim.schedule(1.0, rearm)
+    with pytest.raises(SimulationError, match="drain exceeded"):
+        sim.drain(max_events=100)
+
+
+def test_max_events_guard():
+    sim = Simulator()
+    sim.max_events = 10
+
+    def rearm():
+        sim.schedule(1.0, rearm)
+
+    sim.schedule(1.0, rearm)
+    with pytest.raises(SimulationError, match="max_events"):
+        sim.run()
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(3):
+        sim.schedule(float(i + 1), lambda: None)
+    sim.run()
+    assert sim.events_processed == 3
+
+
+def test_pending_counts_live():
+    sim = Simulator()
+    e = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    assert sim.pending == 2
+    e.cancel()
+    sim.run()
+    assert sim.pending == 0
+
+
+class TestPeriodicTimer:
+    def test_fires_repeatedly(self):
+        sim = Simulator()
+        fired = []
+        sim.every(1.0, lambda: fired.append(sim.now))
+        sim.run(until=5.5)
+        assert fired == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_stop_halts_timer(self):
+        sim = Simulator()
+        fired = []
+        timer = sim.every(1.0, lambda: fired.append(sim.now))
+        sim.schedule(2.5, timer.stop)
+        sim.run(until=10.0)
+        assert fired == [1.0, 2.0]
+
+    def test_stop_from_callback(self):
+        sim = Simulator()
+        fired = []
+        timer = PeriodicTimer(sim, 1.0, lambda: (fired.append(sim.now), timer.stop()))
+        timer.start()
+        sim.run(until=10.0)
+        assert fired == [1.0]
+
+    def test_jitter_applied(self):
+        sim = Simulator()
+        fired = []
+        sim.every(1.0, lambda: fired.append(sim.now), jitter=lambda: 0.5)
+        sim.run(until=4.0)
+        assert fired == [1.5, 3.0]
+
+    def test_zero_interval_rejected(self):
+        with pytest.raises(SimulationError, match="interval"):
+            PeriodicTimer(Simulator(), 0.0, lambda: None)
+
+    def test_start_is_idempotent(self):
+        sim = Simulator()
+        fired = []
+        timer = sim.every(1.0, lambda: fired.append(1))
+        timer.start()
+        sim.run(until=1.5)
+        assert fired == [1]
+
+
+def test_not_reentrant():
+    sim = Simulator()
+    err = []
+
+    def nested():
+        try:
+            sim.run()
+        except SimulationError as e:
+            err.append(str(e))
+
+    sim.schedule(1.0, nested)
+    sim.run()
+    assert err and "reentrant" in err[0]

@@ -1,0 +1,130 @@
+"""Unit tests for failure schedules and churn."""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.failures import FailureSchedule, PoissonChurn
+from repro.sim.latency import ConstantLatency
+from repro.sim.network import Network, Process
+
+
+class Dummy(Process):
+    def on_datagram(self, dgram):
+        pass
+
+
+def test_schedule_covers_population_once():
+    pop = list(range(100))
+    sched = FailureSchedule(pop, np.random.default_rng(0))
+    killed = []
+    for step in sched.steps():
+        killed.extend(step.newly_failed)
+    assert len(killed) == len(set(killed))
+    assert set(killed) <= set(pop)
+
+
+def test_step_fraction_respected():
+    pop = list(range(200))
+    sched = FailureSchedule(pop, np.random.default_rng(0), step_fraction=0.05)
+    steps = list(sched.steps())
+    assert all(len(s.newly_failed) == 10 for s in steps[:-1])
+
+
+def test_stop_fraction_leaves_survivors():
+    pop = list(range(100))
+    sched = FailureSchedule(pop, np.random.default_rng(0), stop_fraction=0.10)
+    steps = list(sched.steps())
+    assert len(steps[-1].surviving) >= 10
+
+
+def test_cumulative_fraction_monotone():
+    sched = FailureSchedule(list(range(60)), np.random.default_rng(1))
+    fracs = [s.cumulative_failed_fraction for s in sched.steps()]
+    assert fracs == sorted(fracs)
+    assert all(0 < f <= 0.95 + 1e-9 for f in fracs)
+
+
+def test_surviving_disjoint_from_failed():
+    sched = FailureSchedule(list(range(50)), np.random.default_rng(2))
+    failed = set()
+    for step in sched.steps():
+        failed |= set(step.newly_failed)
+        assert failed.isdisjoint(step.surviving)
+        assert failed | set(step.surviving) == set(range(50))
+
+
+def test_deterministic_given_rng_seed():
+    s1 = FailureSchedule(list(range(40)), np.random.default_rng(9))
+    s2 = FailureSchedule(list(range(40)), np.random.default_rng(9))
+    assert [s.newly_failed for s in s1.steps()] == [s.newly_failed for s in s2.steps()]
+
+
+def test_apply_step_sets_down():
+    sim = Simulator()
+    net = Network(sim, latency=ConstantLatency(0.01))
+    for i in range(20):
+        net.register(Dummy(i))
+    sched = FailureSchedule(list(range(20)), np.random.default_rng(0))
+    step = next(iter(sched.steps()))
+    sched.apply_step(net, step)
+    for v in step.newly_failed:
+        assert not net.is_up(v)
+
+
+def test_empty_population_rejected():
+    with pytest.raises(ValueError):
+        FailureSchedule([], np.random.default_rng(0))
+
+
+def test_bad_fractions_rejected():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        FailureSchedule([1, 2], rng, step_fraction=0.0)
+    with pytest.raises(ValueError):
+        FailureSchedule([1, 2], rng, stop_fraction=1.0)
+
+
+class TestPoissonChurn:
+    def _setup(self, mean_uptime=5.0, mean_downtime=2.0):
+        sim = Simulator()
+        net = Network(sim, latency=ConstantLatency(0.01))
+        for i in range(30):
+            net.register(Dummy(i))
+        churn = PoissonChurn(sim, net, list(range(30)),
+                             np.random.default_rng(3),
+                             mean_uptime=mean_uptime,
+                             mean_downtime=mean_downtime)
+        return sim, net, churn
+
+    def test_nodes_cycle_up_and_down(self):
+        sim, net, churn = self._setup()
+        churn.start()
+        sim.run(until=50.0)
+        assert churn.leave_count > 0
+        assert churn.rejoin_count > 0
+
+    def test_hooks_called(self):
+        sim, net, churn = self._setup()
+        left, back = [], []
+        churn.on_leave = left.append
+        churn.on_rejoin = back.append
+        churn.start()
+        sim.run(until=30.0)
+        assert len(left) == churn.leave_count
+        assert len(back) == churn.rejoin_count
+
+    def test_stop_halts_transitions(self):
+        sim, net, churn = self._setup()
+        churn.start()
+        sim.run(until=10.0)
+        churn.stop()
+        count = churn.leave_count + churn.rejoin_count
+        sim.run(until=100.0)
+        assert churn.leave_count + churn.rejoin_count == count
+
+    def test_invalid_params_rejected(self):
+        sim = Simulator()
+        net = Network(sim)
+        with pytest.raises(ValueError):
+            PoissonChurn(sim, net, [1], np.random.default_rng(0), mean_uptime=0.0)

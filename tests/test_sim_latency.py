@@ -1,0 +1,58 @@
+"""Unit tests for latency models."""
+
+import numpy as np
+import pytest
+
+from repro.sim.latency import ConstantLatency, LogNormalLatency, UniformLatency
+
+
+def test_constant_returns_value():
+    m = ConstantLatency(0.02)
+    assert m.sample(1, 2) == 0.02
+    assert m.expected() == 0.02
+
+
+def test_constant_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        ConstantLatency(0.0)
+
+
+def test_uniform_within_bounds():
+    m = UniformLatency(np.random.default_rng(0), low=0.01, high=0.05)
+    samples = [m.sample(0, 1) for _ in range(500)]
+    assert all(0.01 <= s <= 0.05 for s in samples)
+    assert m.expected() == pytest.approx(0.03)
+
+
+def test_uniform_rejects_bad_bounds():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        UniformLatency(rng, low=0.0, high=0.05)
+    with pytest.raises(ValueError):
+        UniformLatency(rng, low=0.05, high=0.01)
+
+
+def test_lognormal_above_base():
+    m = LogNormalLatency(np.random.default_rng(0), base=0.002)
+    assert all(m.sample(0, 1) > 0.002 for _ in range(200))
+
+
+def test_lognormal_mean_close_to_expected():
+    m = LogNormalLatency(np.random.default_rng(0), mu=-4.0, sigma=0.5, base=0.0)
+    samples = np.array([m.sample(0, 1) for _ in range(20000)])
+    assert float(samples.mean()) == pytest.approx(m.expected(), rel=0.05)
+
+
+def test_lognormal_rejects_bad_params():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        LogNormalLatency(rng, sigma=0.0)
+    with pytest.raises(ValueError):
+        LogNormalLatency(rng, base=-1.0)
+
+
+def test_reprs_are_informative():
+    rng = np.random.default_rng(0)
+    assert "0.01" in repr(ConstantLatency(0.01))
+    assert "Uniform" in repr(UniformLatency(rng))
+    assert "LogNormal" in repr(LogNormalLatency(rng))

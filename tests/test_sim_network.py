@@ -1,0 +1,225 @@
+"""Unit tests for the datagram network."""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.latency import ConstantLatency
+from repro.sim.network import Datagram, Network, Process
+
+
+class Echo(Process):
+    """Records everything it receives."""
+
+    def __init__(self, address):
+        super().__init__(address)
+        self.inbox = []
+
+    def on_datagram(self, dgram: Datagram) -> None:
+        self.inbox.append((dgram.src, dgram.payload))
+
+
+def make_net(loss=0.0):
+    sim = Simulator()
+    net = Network(sim, latency=ConstantLatency(0.01), loss=loss,
+                  rng=np.random.default_rng(0))
+    return sim, net
+
+
+def test_basic_delivery():
+    sim, net = make_net()
+    a, b = Echo(1), Echo(2)
+    net.register(a)
+    net.register(b)
+    a.send(2, "hello")
+    sim.run()
+    assert b.inbox == [(1, "hello")]
+    assert net.stats.delivered == 1
+
+
+def test_latency_delays_delivery():
+    sim, net = make_net()
+    a, b = Echo(1), Echo(2)
+    net.register(a)
+    net.register(b)
+    a.send(2, "x")
+    sim.run()
+    assert sim.now == pytest.approx(0.01)
+
+
+def test_duplicate_address_rejected():
+    _, net = make_net()
+    net.register(Echo(1))
+    with pytest.raises(ValueError, match="already registered"):
+        net.register(Echo(1))
+
+
+def test_send_to_unknown_is_dropped():
+    sim, net = make_net()
+    a = Echo(1)
+    net.register(a)
+    a.send(99, "void")
+    sim.run()
+    assert net.stats.dropped_unknown == 1
+    assert net.stats.delivered == 0
+
+
+def test_down_destination_drops():
+    sim, net = make_net()
+    a, b = Echo(1), Echo(2)
+    net.register(a)
+    net.register(b)
+    net.set_down(2)
+    a.send(2, "x")
+    sim.run()
+    assert b.inbox == []
+    assert net.stats.dropped_down == 1
+
+
+def test_down_source_cannot_send():
+    sim, net = make_net()
+    a, b = Echo(1), Echo(2)
+    net.register(a)
+    net.register(b)
+    net.set_down(1)
+    net.send(1, 2, "x")
+    sim.run()
+    assert b.inbox == []
+    assert net.stats.dropped_down == 1
+
+
+def test_crash_mid_flight_drops():
+    """A packet in flight to a node that dies before delivery is lost."""
+    sim, net = make_net()
+    a, b = Echo(1), Echo(2)
+    net.register(a)
+    net.register(b)
+    a.send(2, "x")
+    sim.schedule(0.005, lambda: net.set_down(2))
+    sim.run()
+    assert b.inbox == []
+    assert net.stats.dropped_down == 1
+
+
+def test_set_up_restores_delivery():
+    sim, net = make_net()
+    a, b = Echo(1), Echo(2)
+    net.register(a)
+    net.register(b)
+    net.set_down(2)
+    net.set_up(2)
+    a.send(2, "x")
+    sim.run()
+    assert b.inbox == [(1, "x")]
+
+
+def test_loss_drops_fraction():
+    sim, net = make_net(loss=0.5)
+    a, b = Echo(1), Echo(2)
+    net.register(a)
+    net.register(b)
+    for _ in range(400):
+        a.send(2, "x")
+    sim.run()
+    assert 120 <= len(b.inbox) <= 280  # ~200 expected
+    assert net.stats.dropped_loss == 400 - len(b.inbox)
+
+
+def test_invalid_loss_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Network(sim, loss=1.0)
+    with pytest.raises(ValueError):
+        Network(sim, loss=-0.1)
+
+
+def test_partition_filter_blocks():
+    sim, net = make_net()
+    a, b = Echo(1), Echo(2)
+    net.register(a)
+    net.register(b)
+    net.partition_filter = lambda s, d: (s, d) == (1, 2)
+    a.send(2, "blocked")
+    b.send(1, "allowed")
+    sim.run()
+    assert a.inbox == [(2, "allowed")]
+    assert b.inbox == []
+    assert net.stats.dropped_partition == 1
+
+
+def test_by_type_counter():
+    sim, net = make_net()
+    a, b = Echo(1), Echo(2)
+    net.register(a)
+    net.register(b)
+    a.send(2, "s")
+    a.send(2, 42)
+    sim.run()
+    assert net.stats.by_type == {"str": 1, "int": 1}
+
+
+def test_wire_size_accounting():
+    class Sized:
+        wire_size = 100
+
+    sim, net = make_net()
+    a, b = Echo(1), Echo(2)
+    net.register(a)
+    net.register(b)
+    a.send(2, Sized())
+    sim.run()
+    assert net.stats.bytes_sent == 100
+
+
+def test_delivery_hook_observes():
+    sim, net = make_net()
+    a, b = Echo(1), Echo(2)
+    net.register(a)
+    net.register(b)
+    seen = []
+    net.delivery_hook = lambda d: seen.append(d.payload)
+    a.send(2, "observed")
+    sim.run()
+    assert seen == ["observed"]
+
+
+def test_unregister_removes():
+    sim, net = make_net()
+    a, b = Echo(1), Echo(2)
+    net.register(a)
+    net.register(b)
+    net.unregister(2)
+    assert 2 not in net
+    a.send(2, "x")
+    sim.run()
+    assert net.stats.dropped_unknown == 1
+
+
+def test_up_addresses_and_counts():
+    _, net = make_net()
+    for i in range(4):
+        net.register(Echo(i))
+    net.set_down(2)
+    assert sorted(net.up_addresses()) == [0, 1, 3]
+    assert net.down_count() == 1
+    assert len(net) == 4
+
+
+def test_reset_stats():
+    sim, net = make_net()
+    a, b = Echo(1), Echo(2)
+    net.register(a)
+    net.register(b)
+    a.send(2, "x")
+    sim.run()
+    net.reset_stats()
+    assert net.stats.sent == 0 and net.stats.delivered == 0
+
+
+def test_drop_total():
+    sim, net = make_net()
+    a = Echo(1)
+    net.register(a)
+    a.send(99, "x")
+    sim.run()
+    assert net.stats.drop_total() == 1

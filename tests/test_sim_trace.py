@@ -1,0 +1,70 @@
+"""Unit tests for the tracer."""
+
+import pytest
+
+from repro.sim.trace import NULL_TRACER, NullTracer, TraceEvent, Tracer
+
+
+def test_record_and_filter():
+    t = Tracer()
+    t.record(1.0, "lookup", 5, "fwd")
+    t.record(2.0, "election", 5)
+    t.record(3.0, "lookup", 6)
+    assert len(t.filter(category="lookup")) == 2
+    assert len(t.filter(node=5)) == 2
+    assert len(t.filter(category="lookup", node=5)) == 1
+
+
+def test_category_filtering():
+    t = Tracer(categories=["lookup"])
+    t.record(1.0, "lookup", 1)
+    t.record(1.0, "noise", 1)
+    assert len(t.events) == 1
+    # counts still track everything (cheap observability)
+    assert t.counts == {"lookup": 1, "noise": 1}
+
+
+def test_capacity_ring_buffer():
+    t = Tracer(capacity=3)
+    for i in range(5):
+        t.record(float(i), "c", i)
+    assert len(t.events) == 3
+    assert t.dropped == 2
+    assert t.events[0].node == 2  # oldest two discarded
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        Tracer(capacity=0)
+
+
+def test_clear_resets():
+    t = Tracer()
+    t.record(1.0, "a", 1)
+    t.clear()
+    assert t.events == [] and t.counts == {} and t.dropped == 0
+
+
+def test_dump_tail():
+    t = Tracer()
+    for i in range(10):
+        t.record(float(i), "c", i, detail=f"e{i}")
+    out = t.dump(limit=3)
+    assert "e9" in out and "e0" not in out
+
+
+def test_event_str():
+    e = TraceEvent(1.5, "lookup", 7, "forwarded", {"ttl": 3})
+    s = str(e)
+    assert "lookup" in s and "node=7" in s and "ttl" in s
+
+
+def test_null_tracer_records_nothing():
+    NULL_TRACER.record(1.0, "x", 1)
+    assert NULL_TRACER.events == []
+    assert isinstance(NULL_TRACER, NullTracer)
+
+
+def test_enabled_for():
+    assert Tracer().enabled_for("anything")
+    assert not Tracer(categories=["a"]).enabled_for("b")

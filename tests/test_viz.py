@@ -1,0 +1,74 @@
+"""Unit tests for ASCII rendering."""
+
+import pytest
+
+from repro.metrics.series import Series
+from repro.viz.ascii import line_chart, surface_table, table
+
+
+def make_series(label="s", pts=((0, 0), (50, 10), (100, 30))):
+    s = Series(label)
+    for x, y in pts:
+        s.add(float(x), float(y))
+    return s
+
+
+class TestLineChart:
+    def test_contains_marks_and_legend(self):
+        out = line_chart([make_series("alpha")], title="T")
+        assert "T" in out
+        assert "*" in out
+        assert "alpha" in out
+
+    def test_multiple_series_distinct_marks(self):
+        out = line_chart([make_series("a"), make_series("b", ((0, 5), (100, 5)))])
+        assert "*" in out and "o" in out
+
+    def test_axis_bounds_shown(self):
+        out = line_chart([make_series()], x_label="x%")
+        assert "0.0" in out and "100.0" in out and "x%" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart([])
+        with pytest.raises(ValueError):
+            line_chart([Series("empty")])
+
+    def test_flat_series_no_crash(self):
+        out = line_chart([make_series("flat", ((0, 5), (10, 5)))])
+        assert "flat" in out
+
+    def test_single_point(self):
+        out = line_chart([make_series("pt", ((5, 2),))])
+        assert "pt" in out
+
+
+class TestTable:
+    def test_alignment_and_floats(self):
+        out = table(["a", "b"], [[1, 2.5], [30, 4.25]])
+        lines = out.splitlines()
+        assert "a" in lines[0] and "b" in lines[0]
+        assert "2.50" in out and "4.25" in out
+
+    def test_title(self):
+        assert table(["x"], [[1]], title="TT").startswith("TT")
+
+    def test_empty_rows(self):
+        out = table(["col"], [])
+        assert "col" in out
+
+
+class TestSurfaceTable:
+    def test_rows_and_columns(self):
+        out = surface_table([5.0, 10.0], [[50.0, 30.0, 20.0], [40.0, 40.0, 20.0]],
+                            max_hops=2, title="S")
+        assert "S" in out
+        assert "dead%" in out
+        assert "50" in out and "5" in out
+
+    def test_trims_to_max_hops(self):
+        row = list(range(31))
+        out = surface_table([5.0], [row], max_hops=3)
+        header = out.splitlines()[0]
+        assert header.rstrip().endswith("3")
+        assert "30" not in header
