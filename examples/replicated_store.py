@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Replicated storage on TreeP: quorum reads/writes surviving churn.
+
+Builds a 256-node overlay, loads a N=3/W=2/R=2 replicated store, then kills
+30% of the population in 5% bursts.  Between bursts the overlay heals its
+routing tables and the anti-entropy task re-replicates under-replicated
+keys — so unlike the plain DHT example (``dht_keyvalue.py``), *every* key
+stays readable the whole way down.
+
+Run:  python examples/replicated_store.py
+"""
+
+from repro import AntiEntropy, QuorumConfig, ReplicatedStore, TreePConfig, TreePNetwork
+from repro.core.repair import FULL_POLICY, apply_failure_step
+
+
+def main() -> None:
+    net = TreePNetwork(config=TreePConfig.paper_case1(), seed=42)
+    net.build(n=256)
+    store = ReplicatedStore(net, QuorumConfig(n=3, w=2, r=2))
+
+    keys = [f"job/{i:04d}" for i in range(200)]
+    for i, key in enumerate(keys):
+        result = store.put(key, {"job": i, "state": "queued"})
+        assert result.ok, f"quorum write failed for {key}"
+    print(f"stored {len(keys)} keys x{store.quorum.n} replicas "
+          f"(W={store.quorum.w}, R={store.quorum.r})")
+
+    ae = AntiEntropy(store, interval=10.0)
+    print(f"{'dead%':>6} {'alive':>6} {'readable':>9} {'min rf':>7} "
+          f"{'repairs':>8}")
+
+    rng = net.rng.get("example")
+    order = [int(v) for v in rng.permutation(net.ids)]
+    total, burst = int(0.30 * len(net.ids)), max(1, len(net.ids) // 32)
+    killed = 0
+    while killed < total:
+        step = order[killed:killed + min(burst, total - killed)]
+        killed += len(step)
+        net.fail_nodes(step)
+        apply_failure_step(net, step, FULL_POLICY)  # table healing
+        ae.converge()                               # re-replication
+        repairs = sum(r.repairs_sent for r in ae.reports)
+        alive = net.alive_ids()
+        readable = sum(
+            store.get(k, via=alive[i % len(alive)]).found
+            for i, k in enumerate(keys)
+        )
+        rfs = store.replication_factors()
+        print(f"{100 * killed / len(net.ids):6.0f} {len(alive):6d} "
+              f"{readable:4d}/{len(keys):<4d} {min(rfs.values()):7d} "
+              f"{repairs:8d}")
+
+    print("\nEvery key stays at full replication and 100% readable: the")
+    print("anti-entropy task re-replicates after each burst, so no burst")
+    print("ever catches a key with fewer live copies than it can lose.")
+    print("(A key is only lost if one burst kills all N of its replicas")
+    print("at once — shrink bursts or raise N to push that risk down.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,6 +9,9 @@ Public surface:
 * :class:`~repro.core.lookup.LookupAlgorithm` — G / NG / NGSA.
 * :mod:`repro.services` — DHT, resource discovery and load balancing on top
   of the overlay.
+* :mod:`repro.storage` — the replicated key/value subsystem: quorum
+  reads/writes (:class:`~repro.storage.quorum.ReplicatedStore`), versioned
+  per-node stores, and churn-driven anti-entropy re-replication.
 * :mod:`repro.baselines` — Chord and flooding comparators on the same
   simulated substrate.
 * :mod:`repro.experiments` — one runner per figure of the paper's §IV.
@@ -22,15 +25,19 @@ from repro.core.config import TreePConfig
 from repro.core.ids import IdSpace
 from repro.core.lookup import LookupAlgorithm, LookupResult
 from repro.core.treep import TreePNetwork
+from repro.storage import AntiEntropy, QuorumConfig, ReplicatedStore
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "AntiEntropy",
     "CapacityDistribution",
     "IdSpace",
     "LookupAlgorithm",
     "LookupResult",
     "NodeCapacity",
+    "QuorumConfig",
+    "ReplicatedStore",
     "TreePConfig",
     "TreePNetwork",
     "__version__",

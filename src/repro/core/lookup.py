@@ -336,3 +336,36 @@ def _route_non_greedy(
             return Decision.forward(nxt, alternates=rest)
 
     return Decision.not_found()
+
+
+# ---------------------------------------------------------------------------
+# key-space routing (service layer)
+# ---------------------------------------------------------------------------
+
+def greedy_key_next_hop(
+    view: NodeView,
+    key_id: int,
+    exclude: frozenset = frozenset(),
+    improving_only: bool = True,
+) -> Optional[int]:
+    """Closest known next hop towards *key_id*, over the whole table.
+
+    Key-space analogue of the NG rule used by the DHT and replicated-storage
+    services: a key is owned by the node the greedy walk terminates on (no
+    entry is closer to ``key_id`` than the current node), the TreeP version
+    of consistent hashing's successor rule.  With ``improving_only`` (the
+    default) only strictly-closer candidates qualify and ``None`` means this
+    node is locally closest, i.e. responsible for the key; without it the
+    best non-excluded candidate is returned even when it does not improve
+    (the storage layer's sloppy-read fallback hop).
+    """
+    space = view.config.space
+    best: Optional[int] = None
+    best_d = space.distance(view.ident, key_id) if improving_only else None
+    for e in view.table.candidates():
+        if e.ident in exclude:
+            continue
+        d = space.distance(e.ident, key_id)
+        if best_d is None or d < best_d:
+            best, best_d = e.ident, d
+    return best

@@ -15,9 +15,15 @@ Message families:
 * **Hierarchy** — :class:`ElectionStart`, :class:`ParentClaim`,
   :class:`ParentAnnounce`, :class:`PromoteGrant`, :class:`Demote`.
 * **Lookup** — :class:`LookupRequest`, :class:`LookupReply`.
-* **Services** — :class:`DhtPut`, :class:`DhtGet`, :class:`DhtValue`
-  (key/value layer), :class:`ResourceQuery`, :class:`ResourceHit`
-  (discovery layer).
+* **Services** — :class:`DhtPut`, :class:`DhtGet`, :class:`DhtValue`,
+  :class:`DhtPutAck` (key/value layer), :class:`ResourceQuery`,
+  :class:`ResourceHit` (discovery layer).
+* **Replicated storage** — :class:`StorePut` / :class:`StoreGet` (client
+  requests routed to the key's responsible node), :class:`StoreReplicate` /
+  :class:`StoreAck` (coordinator ↔ replica write traffic, also used by
+  read repair and anti-entropy), :class:`StoreRead` /
+  :class:`StoreReadReply` (quorum reads), :class:`StorePutResult` /
+  :class:`StoreGetResult` (coordinator → client outcomes).
 """
 
 from __future__ import annotations
@@ -255,12 +261,16 @@ class LookupReply:
 # ----------------------------------------------------------------- services
 @dataclass(frozen=True)
 class DhtPut:
+    """Routed store request; ``direct`` marks a replica copy that must be
+    stored by the receiver without further routing."""
+
     request_id: int
     origin: int
     key_id: int
     value: Any = None
     ttl: int = 0
     replicas: int = 1
+    direct: bool = False
 
     wire_size: int = _HEADER_BYTES + 64
 
@@ -277,6 +287,8 @@ class DhtGet:
 
 @dataclass(frozen=True)
 class DhtValue:
+    """GET reply: the stored value (or a miss)."""
+
     request_id: int
     key_id: int
     found: bool
@@ -284,6 +296,23 @@ class DhtValue:
     hops: int = 0
 
     wire_size: int = _HEADER_BYTES + 64
+
+
+@dataclass(frozen=True)
+class DhtPutAck:
+    """PUT acknowledgement — distinct from :class:`DhtValue` so a store
+    confirmation can never be mistaken for a GET hit, and the replica set
+    travels in its own field instead of hijacking ``value``."""
+
+    request_id: int
+    key_id: int
+    ok: bool
+    stored_on: Tuple[int, ...] = ()
+    hops: int = 0
+
+    @property
+    def wire_size(self) -> int:
+        return _HEADER_BYTES + 16 + 8 * len(self.stored_on)
 
 
 @dataclass(frozen=True)
@@ -314,3 +343,131 @@ class ResourceHit:
     @property
     def wire_size(self) -> int:
         return _HEADER_BYTES + 8 * len(self.nodes)
+
+
+# -------------------------------------------------------- replicated storage
+@dataclass(frozen=True)
+class StorePut:
+    """Client write, routed greedily towards the key's responsible node."""
+
+    request_id: int
+    origin: int
+    key_id: int
+    value: Any = None
+    ttl: int = 0
+
+    wire_size: int = _HEADER_BYTES + 72
+
+
+@dataclass(frozen=True)
+class StoreGet:
+    """Client read, routed like :class:`StorePut`.
+
+    ``path`` records the nodes visited so the sloppy-read fallback (an
+    NGSA-style sideways hop taken when a coordinator's replicas all miss)
+    never loops; ``fallbacks`` counts those non-improving hops against the
+    configured budget.
+    """
+
+    request_id: int
+    origin: int
+    key_id: int
+    ttl: int = 0
+    fallbacks: int = 0
+    path: Tuple[int, ...] = ()
+
+    @property
+    def wire_size(self) -> int:
+        return _HEADER_BYTES + 16 + 8 * len(self.path)
+
+
+@dataclass(frozen=True)
+class StoreReplicate:
+    """Coordinator → replica: adopt this version of the key.
+
+    Carries the full ``(timestamp, version, writer)`` stamp so the receiver
+    merges it last-write-wins; also the vehicle for read repair and
+    anti-entropy re-replication (with a request id no coordinator is
+    waiting on).
+    """
+
+    request_id: int
+    coordinator: int
+    key_id: int
+    value: Any
+    version: int
+    writer: int
+    timestamp: float = 0.0
+
+    wire_size: int = _HEADER_BYTES + 88
+
+
+@dataclass(frozen=True)
+class StoreAck:
+    """Replica → coordinator write acknowledgement (the dedicated ack type)."""
+
+    request_id: int
+    key_id: int
+    holder: int
+    version: int
+    ok: bool = True
+
+    wire_size: int = _HEADER_BYTES + 24
+
+
+@dataclass(frozen=True)
+class StoreRead:
+    """Coordinator → replica: report your version of the key."""
+
+    request_id: int
+    coordinator: int
+    key_id: int
+
+    wire_size: int = _HEADER_BYTES + 16
+
+
+@dataclass(frozen=True)
+class StoreReadReply:
+    """Replica → coordinator: the replica's versioned copy (or a miss)."""
+
+    request_id: int
+    key_id: int
+    holder: int
+    found: bool
+    value: Any = None
+    version: int = 0
+    writer: int = -1
+    timestamp: float = 0.0
+
+    wire_size: int = _HEADER_BYTES + 88
+
+
+@dataclass(frozen=True)
+class StorePutResult:
+    """Coordinator → client: quorum write outcome."""
+
+    request_id: int
+    key_id: int
+    ok: bool
+    version: int = 0
+    replicas: Tuple[int, ...] = ()
+    hops: int = 0
+
+    @property
+    def wire_size(self) -> int:
+        return _HEADER_BYTES + 24 + 8 * len(self.replicas)
+
+
+@dataclass(frozen=True)
+class StoreGetResult:
+    """Coordinator → client: quorum read outcome (freshest version wins)."""
+
+    request_id: int
+    key_id: int
+    found: bool
+    value: Any = None
+    version: int = 0
+    quorum_met: bool = True
+    hops: int = 0
+
+    wire_size: int = _HEADER_BYTES + 80

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.capacity import NodeCapacity
 from repro.core.config import TreePConfig
@@ -116,6 +116,36 @@ class TreePNode(Process):
         self.hop_observer: Optional[Callable[[LookupRequest], None]] = None
         #: The maintenance manager attaches itself here (see maintenance.py).
         self.maintenance = None
+        #: Service-registered datagram handlers, keyed by payload type.
+        #: Consulted before the built-in ``_on_<Type>`` methods, so layered
+        #: services (DHT, replicated storage, …) extend the protocol without
+        #: monkey-patching the class.
+        self.handlers: Dict[type, Callable[[int, Any], None]] = {}
+
+    # ------------------------------------------------------------- handlers
+    def register_handler(
+        self,
+        msg_type: type,
+        handler: Callable[[int, Any], None],
+        replace: bool = False,
+    ) -> None:
+        """Route datagrams whose payload is a *msg_type* to *handler*.
+
+        ``handler(src, payload)`` is invoked exactly like a built-in
+        ``_on_<Type>`` method.  Registered handlers take precedence over the
+        built-ins, letting a service override core behaviour per node.  A
+        second registration for the same type raises unless ``replace=True``
+        (re-instantiating a service facade replaces its predecessor).
+        """
+        if not replace and msg_type in self.handlers:
+            raise ValueError(
+                f"node {self.ident} already has a handler for {msg_type.__name__}"
+            )
+        self.handlers[msg_type] = handler
+
+    def unregister_handler(self, msg_type: type) -> None:
+        """Remove the service handler for *msg_type* (no-op when absent)."""
+        self.handlers.pop(msg_type, None)
 
     # ------------------------------------------------------------- identity
     @property
@@ -132,6 +162,10 @@ class TreePNode(Process):
     # ------------------------------------------------------------ dispatch
     def on_datagram(self, dgram: Datagram) -> None:
         payload = dgram.payload
+        registered = self.handlers.get(type(payload))
+        if registered is not None:
+            registered(dgram.src, payload)
+            return
         handler = getattr(self, f"_on_{type(payload).__name__}", None)
         if handler is None:
             self.tracer.record(self.sim.now, "drop", self.ident,

@@ -33,7 +33,7 @@ from repro.core.maintenance import MaintenanceManager
 from repro.core.messages import LookupRequest
 from repro.core.node import PendingLookup, TreePNode
 from repro.core.tessellation import bus_neighbours, cell_owner
-from repro.sim.engine import Simulator
+from repro.sim.engine import SimulationError, Simulator
 from repro.sim.latency import LatencyModel, UniformLatency
 from repro.sim.network import Network
 from repro.sim.rng import RngRegistry
@@ -94,6 +94,34 @@ class TreePNetwork:
         self.layout: Optional[HierarchyLayout] = None
         self.trails: Dict[int, RequestTrail] = {}
         self._maintenance: List[MaintenanceManager] = []
+        #: Callbacks invoked for every node the network creates (at build and
+        #: on protocol joins); services use this to attach per-node state and
+        #: register datagram handlers without monkey-patching TreePNode.
+        self.node_hooks: List[Callable[[TreePNode], None]] = []
+
+    def add_node_hook(
+        self, hook: Callable[[TreePNode], None], retroactive: bool = True
+    ) -> None:
+        """Register *hook* to run on every current and future node.
+
+        With ``retroactive`` (the default) the hook also runs immediately on
+        every node that already exists, so a service can attach at any time.
+        """
+        self.node_hooks.append(hook)
+        if retroactive:
+            for node in self.nodes.values():
+                hook(node)
+
+    def remove_node_hook(self, hook: Callable[[TreePNode], None]) -> None:
+        """Detach *hook* from future node creations (no-op when absent).
+
+        Services call this when shut down so a discarded instance stops
+        attaching per-node state to every node that joins later.
+        """
+        try:
+            self.node_hooks.remove(hook)
+        except ValueError:
+            pass
 
     # ------------------------------------------------------------ building
     def build(
@@ -144,6 +172,8 @@ class TreePNetwork:
             self.network.register(node)
             self.nodes[ident] = node
             node.hop_observer = self._observe_hop
+            for hook in self.node_hooks:
+                hook(node)
 
     def _observe_hop(self, req: LookupRequest) -> None:
         trail = self.trails.get(req.request_id)
@@ -240,6 +270,65 @@ class TreePNetwork:
                     if pn is not None and pn != ident:
                         t.add_superior(pn, now, **meta_of(pn))
 
+    def live_origin(self, via: Optional[int] = None) -> TreePNode:
+        """The node client requests should enter through.
+
+        *via* selects a specific node (it must be live — a down node would
+        silently drop every outbound datagram and the client would pump its
+        whole deadline for nothing); otherwise the first live peer is used.
+        Shared by the service facades (DHT, replicated storage).
+        """
+        if via is not None:
+            if not self.network.is_up(via):
+                raise ValueError(f"origin {via} is down")
+            return self.nodes[via]
+        for i in self.ids:
+            if self.network.is_up(i):
+                return self.nodes[i]
+        raise RuntimeError("no live node to issue the request from")
+
+    #: Abandoned request ids remembered per reply sink (oldest dropped).
+    ABANDONED_CAP = 4096
+
+    def pump_until_reply(
+        self,
+        replies: Dict[int, object],
+        abandoned: Dict[int, None],
+        rid: int,
+        timeout: float,
+        settle: float = 0.2,
+    ):
+        """Run the sim until *rid*'s reply lands in *replies*, the event
+        queue empties, or *timeout* virtual seconds pass.
+
+        The synchronous-client pump shared by the service facades.  A plain
+        ``drain()`` would never return while any periodic timer (keep-
+        alives, anti-entropy) keeps re-arming itself; the deadline bounds a
+        black-holed request instead.  On success the sim runs *settle*
+        further virtual seconds so the request's trailing datagrams (extra
+        replicas, read repair) land; on timeout the rid is remembered in
+        *abandoned* (insertion-ordered, capped) so a straggler reply is
+        discarded instead of accreting in the sink.
+        """
+        sim = self.sim
+        deadline = sim.now + timeout
+        while rid not in replies and sim.now < deadline:
+            if sim.max_events is not None and sim.events_processed >= sim.max_events:
+                raise SimulationError(
+                    f"pump for request {rid} exceeded max_events={sim.max_events}; "
+                    "runaway same-time event cycle?"
+                )
+            if not sim.step():
+                break
+        reply = replies.pop(rid, None)
+        if reply is None:
+            abandoned[rid] = None
+            while len(abandoned) > self.ABANDONED_CAP:
+                abandoned.pop(next(iter(abandoned)))
+        else:
+            sim.run(until=sim.now + settle)
+        return reply
+
     # ------------------------------------------------------------- lookups
     def lookup(
         self,
@@ -318,6 +407,8 @@ class TreePNetwork:
         self.capacities[ident] = cap
         self.ids.append(ident)
         node.hop_observer = self._observe_hop
+        for hook in self.node_hooks:
+            hook(node)
         bootstrap = via if via is not None else next(
             i for i in self.ids if i != ident and self.network.is_up(i)
         )

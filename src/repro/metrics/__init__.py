@@ -4,8 +4,16 @@ Everything the experiment drivers record flows through these containers so
 benches and tests can assert on one consistent shape.
 """
 
+from repro.metrics.durability import DurabilityTracker, ReplicationSample
 from repro.metrics.histogram import HopHistogram
 from repro.metrics.series import Series
 from repro.metrics.stats import LookupBatchStats, summarize_batch
 
-__all__ = ["HopHistogram", "LookupBatchStats", "Series", "summarize_batch"]
+__all__ = [
+    "DurabilityTracker",
+    "HopHistogram",
+    "LookupBatchStats",
+    "ReplicationSample",
+    "Series",
+    "summarize_batch",
+]

@@ -5,8 +5,9 @@ providing "resource discovery and load-balancing" (§I) and notes the overlay
 "can be easily modified to provide Distributed Hash Table (DHT)
 functionality".  This package builds those three consumers:
 
-* :mod:`repro.services.dht` — key/value storage with replication, keys
-  hashed into the TreeP ID space and resolved by the overlay's own lookup.
+* :mod:`repro.services.dht` — simple key/value storage with replication,
+  keys hashed into the TreeP ID space and resolved by the overlay's own
+  lookup (for durable quorum storage see :mod:`repro.storage`).
 * :mod:`repro.services.discovery` — attribute-constrained resource
   discovery walking the capacity aggregates of the hierarchy.
 * :mod:`repro.services.loadbalance` — capacity-aware task placement using

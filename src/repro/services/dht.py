@@ -8,27 +8,31 @@ replicates it to the node's level-0 neighbours (cheap fault tolerance on
 the same links the overlay already maintains); GET routes the same way and
 returns on the first replica hit.
 
-The datagram handlers live on :class:`~repro.core.node.TreePNode`
-(:meth:`_on_DhtPut` / :meth:`_on_DhtGet` are installed by this module —
-*the* modification the paper alludes to); this class is the client API.
+This is the *simple* key/value service — single coordinator, no quorum, no
+re-replication; :mod:`repro.storage` is the durable subsystem built on the
+same primitives.  The datagram handlers attach through the node
+handler-registration API (:meth:`~repro.core.node.TreePNode.register_handler`)
+via a network node hook, so they cover nodes that join later and never
+monkey-patch the class.  PUT acks travel as the dedicated
+:class:`~repro.core.messages.DhtPutAck` (carrying the replica set in its
+own field), replica copies as ``DhtPut(direct=True)`` — no TTL abuse, and
+a store confirmation can never be mistaken for a GET hit.
 """
 
 from __future__ import annotations
 
-import hashlib
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.core.messages import DhtGet, DhtPut, DhtValue
+from repro.core.lookup import greedy_key_next_hop
+from repro.core.messages import DhtGet, DhtPut, DhtPutAck, DhtValue
 from repro.core.node import TreePNode
 from repro.core.treep import TreePNetwork
+from repro.storage.replication import Level0Placement
+from repro.storage.store import KVStore, hash_key
 
-
-def hash_key(key: str, extent: int) -> int:
-    """Map an application key onto the overlay ID space (SHA-256)."""
-    digest = hashlib.sha256(key.encode("utf-8")).digest()
-    return int.from_bytes(digest[:8], "big") % extent
+__all__ = ["DhtResult", "TreePDht", "hash_key"]
 
 
 @dataclass
@@ -41,92 +45,6 @@ class DhtResult:
     value: Any = None
     hops: int = 0
     stored_on: Tuple[int, ...] = ()
-
-
-def _closer_candidate(node: TreePNode, key_id: int, exclude: frozenset) -> Optional[int]:
-    """Strictly-closer next hop towards *key_id*, from the whole table."""
-    space = node.config.space
-    here = space.distance(node.ident, key_id)
-    best: Optional[int] = None
-    best_d = here
-    for e in node.table.candidates():
-        if e.ident in exclude:
-            continue
-        d = space.distance(e.ident, key_id)
-        if d < best_d:
-            best, best_d = e.ident, d
-    return best
-
-
-def _install_handlers() -> None:
-    """Attach the DHT datagram handlers to TreePNode (idempotent)."""
-    if getattr(TreePNode, "_dht_installed", False):
-        return
-
-    def _on_DhtPut(self: TreePNode, src: int, msg: DhtPut) -> None:
-        if msg.ttl > self.config.ttl_max:
-            return
-        exclude = frozenset((self.ident,))
-        nxt = _closer_candidate(self, msg.key_id, exclude)
-        if nxt is not None:
-            self.send(nxt, DhtPut(msg.request_id, msg.origin, msg.key_id,
-                                  msg.value, msg.ttl + 1, msg.replicas))
-            return
-        # We are the responsible node: store and replicate sideways.
-        store = getattr(self, "kv_store", None)
-        if store is None:
-            store = self.kv_store = {}
-        store[msg.key_id] = msg.value
-        stored = [self.ident]
-        for n in sorted(self.table.level0)[: max(0, msg.replicas - 1)]:
-            self.send(n, DhtPut(msg.request_id, msg.origin, msg.key_id,
-                                msg.value, self.config.ttl_max + 1, 0))
-            stored.append(n)
-        self.send(msg.origin, DhtValue(msg.request_id, msg.key_id, True,
-                                       tuple(stored), msg.ttl))
-
-    def _on_DhtGet(self: TreePNode, src: int, msg: DhtGet) -> None:
-        if msg.ttl > self.config.ttl_max:
-            return
-        store = getattr(self, "kv_store", None)
-        if store is not None and msg.key_id in store:
-            self.send(msg.origin, DhtValue(msg.request_id, msg.key_id, True,
-                                           store[msg.key_id], msg.ttl))
-            return
-        nxt = _closer_candidate(self, msg.key_id, frozenset((self.ident,)))
-        if nxt is not None:
-            self.send(nxt, DhtGet(msg.request_id, msg.origin, msg.key_id, msg.ttl + 1))
-            return
-        self.send(msg.origin, DhtValue(msg.request_id, msg.key_id, False, None, msg.ttl))
-
-    def _on_DhtValue(self: TreePNode, src: int, msg: DhtValue) -> None:
-        sink = getattr(self, "_dht_replies", None)
-        if sink is None:
-            sink = self._dht_replies = {}
-        sink[msg.request_id] = msg
-
-    TreePNode._on_DhtPut = _on_DhtPut  # type: ignore[attr-defined]
-    TreePNode._on_DhtGet = _on_DhtGet  # type: ignore[attr-defined]
-    TreePNode._on_DhtValue = _on_DhtValue  # type: ignore[attr-defined]
-    TreePNode._dht_installed = True  # type: ignore[attr-defined]
-
-    # Replica reception: a replicated PUT arrives with an exhausted TTL so
-    # the receiving neighbour stores it without re-routing.  The handler
-    # above covers this because _closer_candidate is skipped only when the
-    # node is locally closest — replicas instead use ttl > ttl_max, which
-    # the handler must treat as "store here".  Handled below by wrapping.
-    orig_put = TreePNode._on_DhtPut  # type: ignore[attr-defined]
-
-    def _on_DhtPut_with_replicas(self: TreePNode, src: int, msg: DhtPut) -> None:
-        if msg.ttl > self.config.ttl_max:
-            store = getattr(self, "kv_store", None)
-            if store is None:
-                store = self.kv_store = {}
-            store[msg.key_id] = msg.value
-            return
-        orig_put(self, src, msg)
-
-    TreePNode._on_DhtPut = _on_DhtPut_with_replicas  # type: ignore[attr-defined]
 
 
 class TreePDht:
@@ -143,42 +61,102 @@ class TreePDht:
     def __init__(self, net: TreePNetwork, replicas: int = 2) -> None:
         if replicas < 1:
             raise ValueError(f"replicas must be >= 1, got {replicas}")
-        _install_handlers()
         self.net = net
         self.replicas = replicas
+        #: Per-node key/value partitions (was an ad-hoc dict on the node).
+        self.stores: Dict[int, KVStore] = {}
+        self._placement = Level0Placement()
+        self._replies: Dict[int, object] = {}
+        self._abandoned: Dict[int, None] = {}
         self._rid = itertools.count(1)
+        net.add_node_hook(self._attach)
 
-    def _origin(self, via: Optional[int]) -> TreePNode:
-        if via is not None:
-            return self.net.nodes[via]
-        for i in self.net.ids:
-            if self.net.network.is_up(i):
-                return self.net.nodes[i]
-        raise RuntimeError("no live node to issue the request from")
+    # ----------------------------------------------------------- node side
+    def _attach(self, node: TreePNode) -> None:
+        """Give *node* a partition and register the DHT datagram handlers."""
+        self.stores[node.ident] = KVStore(node.ident)
+        node.register_handler(
+            DhtPut, lambda src, msg: self._on_put(node, src, msg), replace=True)
+        node.register_handler(
+            DhtGet, lambda src, msg: self._on_get(node, src, msg), replace=True)
+        node.register_handler(DhtValue, self._on_reply, replace=True)
+        node.register_handler(DhtPutAck, self._on_reply, replace=True)
+
+    def close(self) -> None:
+        """Detach from the network: stop covering newly created nodes."""
+        self.net.remove_node_hook(self._attach)
+
+    def _on_put(self, node: TreePNode, src: int, msg: DhtPut) -> None:
+        store = self.stores[node.ident]
+        if msg.direct:
+            # Replica copy from the responsible node: store, don't re-route.
+            store.apply(msg.key_id, msg.value, store.next_version(msg.key_id),
+                        writer=src, timestamp=node.sim.now)
+            return
+        if msg.ttl > node.config.ttl_max:
+            return
+        nxt = greedy_key_next_hop(node, msg.key_id)
+        if nxt is not None:
+            node.send(nxt, DhtPut(msg.request_id, msg.origin, msg.key_id,
+                                  msg.value, msg.ttl + 1, msg.replicas))
+            return
+        # We are the responsible node: store and replicate sideways, using
+        # the same level-0 placement the storage subsystem implements.
+        store.apply(msg.key_id, msg.value, store.next_version(msg.key_id),
+                    writer=node.ident, timestamp=node.sim.now)
+        stored = self._placement.replicas(node, msg.key_id, msg.replicas)
+        replica = DhtPut(msg.request_id, msg.origin, msg.key_id, msg.value,
+                         0, 0, direct=True)
+        for n in stored[1:]:
+            node.send(n, replica)
+        node.send(msg.origin, DhtPutAck(msg.request_id, msg.key_id, True,
+                                        tuple(stored), msg.ttl))
+
+    def _on_get(self, node: TreePNode, src: int, msg: DhtGet) -> None:
+        if msg.ttl > node.config.ttl_max:
+            return
+        vv = self.stores[node.ident].get(msg.key_id)
+        if vv is not None:
+            node.send(msg.origin, DhtValue(msg.request_id, msg.key_id, True,
+                                           vv.value, msg.ttl))
+            return
+        nxt = greedy_key_next_hop(node, msg.key_id)
+        if nxt is not None:
+            node.send(nxt, DhtGet(msg.request_id, msg.origin, msg.key_id, msg.ttl + 1))
+            return
+        node.send(msg.origin, DhtValue(msg.request_id, msg.key_id, False, None, msg.ttl))
+
+    def _on_reply(self, src: int, msg) -> None:
+        if self._abandoned.pop(msg.request_id, 0) is None:
+            return  # the client gave up on this request long ago
+        self._replies[msg.request_id] = msg
+
+    # ---------------------------------------------------------- client side
+    def _await_reply(self, rid: int):
+        return self.net.pump_until_reply(
+            self._replies, self._abandoned, rid,
+            timeout=2 * self.net.config.lookup_timeout)
 
     def put(self, key: str, value: Any, via: Optional[int] = None) -> DhtResult:
-        """Store *value* under *key*; blocks (drains the sim) until done."""
-        node = self._origin(via)
+        """Store *value* under *key*; blocks (runs the sim) until done."""
+        node = self.net.live_origin(via)
         key_id = hash_key(key, self.net.config.space.extent)
-        rid = (node.ident << 20) | next(self._rid)
-        node._on_DhtPut(node.ident, DhtPut(rid, node.ident, key_id, value,
-                                           0, self.replicas))
-        self.net.sim.drain()
-        reply = getattr(node, "_dht_replies", {}).pop(rid, None)
+        rid = next(self._rid)
+        self._on_put(node, node.ident,
+                     DhtPut(rid, node.ident, key_id, value, 0, self.replicas))
+        reply = self._await_reply(rid)
         if reply is None:
             return DhtResult(key=key, key_id=key_id, found=False)
-        return DhtResult(key=key, key_id=key_id, found=reply.found,
-                         hops=reply.hops,
-                         stored_on=tuple(reply.value) if reply.found else ())
+        return DhtResult(key=key, key_id=key_id, found=reply.ok,
+                         hops=reply.hops, stored_on=reply.stored_on)
 
     def get(self, key: str, via: Optional[int] = None) -> DhtResult:
         """Fetch the value under *key*; blocks until resolved or failed."""
-        node = self._origin(via)
+        node = self.net.live_origin(via)
         key_id = hash_key(key, self.net.config.space.extent)
-        rid = (node.ident << 20) | next(self._rid)
-        node._on_DhtGet(node.ident, DhtGet(rid, node.ident, key_id, 0))
-        self.net.sim.drain()
-        reply = getattr(node, "_dht_replies", {}).pop(rid, None)
+        rid = next(self._rid)
+        self._on_get(node, node.ident, DhtGet(rid, node.ident, key_id, 0))
+        reply = self._await_reply(rid)
         if reply is None or not reply.found:
             return DhtResult(key=key, key_id=key_id, found=False,
                              hops=reply.hops if reply else 0)
@@ -188,8 +166,7 @@ class TreePDht:
     def stored_keys(self) -> Dict[int, List[int]]:
         """``{node id: key ids held}`` — distribution diagnostics."""
         out: Dict[int, List[int]] = {}
-        for ident, node in self.net.nodes.items():
-            store = getattr(node, "kv_store", None)
-            if store:
-                out[ident] = sorted(store)
+        for ident, store in self.stores.items():
+            if len(store):
+                out[ident] = sorted(store.keys())
         return out

@@ -1,0 +1,152 @@
+"""Replica placement strategies.
+
+A strategy answers two questions:
+
+* :meth:`~PlacementStrategy.replicas` — **node-local**: where should the
+  coordinating (responsible) node place the N copies of a key, using only
+  its own routing table?  This is what quorum writes use.
+* :meth:`~PlacementStrategy.repair_targets` — **converged view**: given the
+  network's current live population, where *should* the N copies live?
+  This is what the anti-entropy sweep uses to detect and fix
+  under-replication, mirroring the converged-mode healing in
+  :mod:`repro.core.repair`.
+
+Two strategies ship:
+
+* :class:`Level0Placement` — the seed DHT's scheme: the responsible node
+  plus its level-0 bus neighbours.  Cheap (the copies ride links the
+  overlay already maintains) but correlated: adjacent IDs fail together
+  under spatially correlated churn.
+* :class:`SuccessorPlacement` — ID-space successor-style placement over the
+  tessellation: the N live peers Euclidean-closest to the key.  Because the
+  level-0 bus is ID-ordered, the responsible node's own neighbourhood
+  usually *is* that set, so the node-local and converged answers agree once
+  maintenance has healed the tables.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Protocol, Sequence, Type
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.node import TreePNode
+    from repro.core.treep import TreePNetwork
+
+
+class PlacementStrategy(Protocol):
+    """Where the N replicas of a key should live."""
+
+    name: str
+
+    def replicas(self, node: "TreePNode", key_id: int, n: int) -> List[int]:
+        """Up to *n* distinct targets, the coordinator (*node*) first."""
+        ...
+
+    def repair_targets(
+        self,
+        net: "TreePNetwork",
+        key_id: int,
+        n: int,
+        live: Optional[Sequence[int]] = None,
+    ) -> List[int]:
+        """The ideal live replica set for *key_id* given current liveness.
+
+        *live* lets a sweep pass the precomputed live population instead of
+        re-scanning it per key.
+        """
+        ...
+
+
+def _pad_with_closest(
+    out: List[int], pool: Sequence[int], key_id: int, n: int, space
+) -> List[int]:
+    """Extend *out* to *n* entries with the pool members closest to the key."""
+    seen = set(out)
+    for ident in sorted(pool, key=lambda i: (space.distance(i, key_id), i)):
+        if len(out) >= n:
+            break
+        if ident not in seen:
+            out.append(ident)
+            seen.add(ident)
+    return out
+
+
+class Level0Placement:
+    """Responsible node + its level-0 neighbours (the seed DHT's scheme)."""
+
+    name = "level0"
+
+    def replicas(self, node: "TreePNode", key_id: int, n: int) -> List[int]:
+        space = node.config.space
+        out = [node.ident]
+        _pad_with_closest(out, node.table.level0, key_id, n, space)
+        if len(out) < n:
+            # Thin neighbourhood (bus endpoint): widen to indirect knowledge.
+            _pad_with_closest(out, node.table.level0_indirect, key_id, n, space)
+        return out[:n]
+
+    def repair_targets(
+        self,
+        net: "TreePNetwork",
+        key_id: int,
+        n: int,
+        live: Optional[Sequence[int]] = None,
+    ) -> List[int]:
+        space = net.config.space
+        if live is None:
+            live = [i for i in net.ids if net.network.is_up(i)]
+        if not live:
+            return []
+        responsible = min(live, key=lambda i: (space.distance(i, key_id), i))
+        out = [responsible]
+        neighbours = [
+            i for i in net.nodes[responsible].table.level0
+            if net.network.is_up(i)
+        ]
+        _pad_with_closest(out, neighbours, key_id, n, space)
+        if len(out) < n:
+            _pad_with_closest(out, live, key_id, n, space)
+        return out[:n]
+
+
+class SuccessorPlacement:
+    """The N peers Euclidean-closest to the key in the ID space."""
+
+    name = "successor"
+
+    def replicas(self, node: "TreePNode", key_id: int, n: int) -> List[int]:
+        space = node.config.space
+        out = [node.ident]
+        pool = [e.ident for e in node.table.candidates()]
+        return _pad_with_closest(out, pool, key_id, n, space)[:n]
+
+    def repair_targets(
+        self,
+        net: "TreePNetwork",
+        key_id: int,
+        n: int,
+        live: Optional[Sequence[int]] = None,
+    ) -> List[int]:
+        space = net.config.space
+        if live is None:
+            live = [i for i in net.ids if net.network.is_up(i)]
+        return _pad_with_closest([], live, key_id, n, space)[:n]
+
+
+_STRATEGIES: Dict[str, Type] = {
+    Level0Placement.name: Level0Placement,
+    SuccessorPlacement.name: SuccessorPlacement,
+}
+
+
+def make_placement(name_or_strategy) -> PlacementStrategy:
+    """Resolve a strategy instance from a name or pass an instance through."""
+    if isinstance(name_or_strategy, str):
+        try:
+            return _STRATEGIES[name_or_strategy]()
+        except KeyError:
+            raise ValueError(
+                f"unknown placement strategy {name_or_strategy!r}; "
+                f"choose from {sorted(_STRATEGIES)}"
+            ) from None
+    return name_or_strategy

@@ -1,4 +1,5 @@
-"""Workload generators: lookup traffic, churn schedules, capacity mixes."""
+"""Workload generators: lookup traffic, churn schedules, capacity mixes,
+mixed read/write storage streams."""
 
 from repro.workloads.capacities import (
     grid_cluster_mix,
@@ -7,11 +8,21 @@ from repro.workloads.capacities import (
 )
 from repro.workloads.lookups import LookupWorkload
 from repro.workloads.churn import ChurnSchedule
+from repro.workloads.storage import (
+    StorageOp,
+    StorageRunStats,
+    StorageWorkload,
+    run_storage_ops,
+)
 
 __all__ = [
     "ChurnSchedule",
     "LookupWorkload",
+    "StorageOp",
+    "StorageRunStats",
+    "StorageWorkload",
     "grid_cluster_mix",
     "homogeneous_mix",
     "measured_p2p_mix",
+    "run_storage_ops",
 ]

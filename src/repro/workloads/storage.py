@@ -1,0 +1,169 @@
+"""Mixed read/write storage traffic with durability accounting.
+
+:class:`StorageWorkload` draws a stream of PUT/GET operations over a fixed
+keyspace (uniform or Zipf-skewed key popularity, configurable read
+fraction); :func:`run_storage_ops` replays the stream against a
+:class:`~repro.storage.quorum.ReplicatedStore` and keeps the client-side
+truth — the last acknowledged value per key — so the run's stats separate
+*misses* (key readable nowhere) from *stale reads* (an older acknowledged
+value surfaced), the distinction the quorum-overlap guarantee is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Literal, Optional, Sequence, TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.storage.quorum import ReplicatedStore
+
+OpKind = Literal["put", "get"]
+KeyMode = Literal["uniform", "zipf"]
+
+
+@dataclass(frozen=True)
+class StorageOp:
+    """One client operation."""
+
+    kind: OpKind
+    key: str
+    value: Any = None
+
+
+@dataclass
+class StorageWorkload:
+    """Generator of mixed PUT/GET streams over a bounded keyspace.
+
+    Parameters
+    ----------
+    rng:
+        Randomness source (use a dedicated substream).
+    keyspace:
+        Number of distinct keys (``k/0000`` … style).
+    read_fraction:
+        Probability an operation is a GET.
+    key_mode:
+        ``uniform`` — keys equally popular. ``zipf`` — rank-skewed
+        popularity (hot keys), exponent :attr:`zipf_s`.
+    """
+
+    rng: np.random.Generator
+    keyspace: int = 64
+    read_fraction: float = 0.5
+    key_mode: KeyMode = "uniform"
+    zipf_s: float = 1.2
+    key_prefix: str = "k"
+
+    def __post_init__(self) -> None:
+        if self.keyspace < 1:
+            raise ValueError(f"keyspace must be >= 1, got {self.keyspace}")
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ValueError(
+                f"read_fraction must be in [0, 1], got {self.read_fraction}")
+
+    def key(self, index: int) -> str:
+        return f"{self.key_prefix}/{index:05d}"
+
+    def keys(self) -> List[str]:
+        return [self.key(i) for i in range(self.keyspace)]
+
+    def seed_ops(self) -> List[StorageOp]:
+        """One initial PUT per key, so GETs never race an empty store."""
+        return [StorageOp("put", self.key(i), f"v0/{i}")
+                for i in range(self.keyspace)]
+
+    def ops(self, count: int) -> List[StorageOp]:
+        """Draw *count* operations (reads and overwriting writes)."""
+        if count <= 0:
+            raise ValueError(f"count must be > 0, got {count}")
+        if self.key_mode == "uniform":
+            idx = self.rng.integers(0, self.keyspace, size=count)
+        elif self.key_mode == "zipf":
+            ranks = np.arange(1, self.keyspace + 1, dtype=float)
+            weights = ranks ** (-self.zipf_s)
+            weights /= weights.sum()
+            idx = self.rng.choice(self.keyspace, size=count, p=weights)
+        else:
+            raise ValueError(f"unknown key_mode {self.key_mode!r}")
+        reads = self.rng.random(count) < self.read_fraction
+        out: List[StorageOp] = []
+        for seq, (i, is_read) in enumerate(zip(idx, reads)):
+            key = self.key(int(i))
+            if is_read:
+                out.append(StorageOp("get", key))
+            else:
+                out.append(StorageOp("put", key, f"v{seq + 1}/{int(i)}"))
+        return out
+
+
+@dataclass
+class StorageRunStats:
+    """What one replayed stream observed, with durability accounting."""
+
+    puts: int = 0
+    put_ok: int = 0
+    gets: int = 0
+    hits: int = 0
+    stale_reads: int = 0
+    misses: int = 0
+    #: GETs that missed because the key was never acknowledged (not a
+    #: durability violation — there was nothing to lose).
+    misses_unwritten: int = 0
+    quorum_degraded: int = 0
+    #: Client-side truth: last acknowledged value per key.
+    written: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def durability(self) -> float:
+        """Fraction of GETs on acknowledged keys that returned a value."""
+        expected = self.gets - self.misses_unwritten
+        return 1.0 if expected <= 0 else (self.hits + self.stale_reads) / expected
+
+
+def run_storage_ops(
+    store: "ReplicatedStore",
+    ops: Sequence[StorageOp],
+    rng: Optional[np.random.Generator] = None,
+    via_pool: Optional[Sequence[int]] = None,
+) -> StorageRunStats:
+    """Replay *ops* against *store*, issuing each from a (random) live node.
+
+    ``via_pool`` restricts the client entry points; with *rng* the entry
+    point is sampled per op, otherwise ops round-robin over the pool.
+    """
+    stats = StorageRunStats()
+    pool = list(via_pool) if via_pool is not None else None
+
+    def pick_via(i: int) -> Optional[int]:
+        if pool is None:
+            return None
+        if rng is not None:
+            return pool[int(rng.integers(0, len(pool)))]
+        return pool[i % len(pool)]
+
+    for i, op in enumerate(ops):
+        via = pick_via(i)
+        if op.kind == "put":
+            stats.puts += 1
+            r = store.put(op.key, op.value, via=via)
+            if r.ok:
+                stats.put_ok += 1
+                stats.written[op.key] = op.value
+        else:
+            stats.gets += 1
+            r = store.get(op.key, via=via)
+            if not r.quorum_met:
+                stats.quorum_degraded += 1
+            expected = stats.written.get(op.key)
+            if r.found:
+                if expected is None or r.value == expected:
+                    stats.hits += 1
+                else:
+                    stats.stale_reads += 1
+            else:
+                stats.misses += 1
+                if expected is None:
+                    stats.misses_unwritten += 1
+    return stats

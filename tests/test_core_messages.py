@@ -73,3 +73,49 @@ def test_lookup_request_defaults():
 
 def test_resource_hit_size():
     assert ResourceHit(1, nodes=(1, 2)).wire_size == ResourceHit(1).wire_size + 16
+
+
+def test_storage_messages_frozen_and_sized():
+    from repro.core.messages import (
+        DhtPutAck,
+        StoreAck,
+        StoreGet,
+        StoreGetResult,
+        StorePut,
+        StorePutResult,
+        StoreRead,
+        StoreReadReply,
+        StoreReplicate,
+    )
+
+    msgs = [
+        DhtPutAck(1, 2, True), StorePut(1, 2, 3), StoreGet(1, 2, 3),
+        StoreReplicate(1, 2, 3, "v", 1, 2), StoreAck(1, 3, 2, 1),
+        StoreRead(1, 2, 3), StoreReadReply(1, 3, 2, True),
+        StorePutResult(1, 3, True), StoreGetResult(1, 3, True),
+    ]
+    for m in msgs:
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            m.request_id = 9  # type: ignore[misc]
+        assert m.wire_size > 0
+
+
+def test_put_ack_distinct_from_get_reply():
+    """The PUT-ack/GET-reply conflation fix: separate types, separate fields."""
+    from repro.core.messages import DhtPutAck, DhtValue
+
+    ack = DhtPutAck(1, 2, True, stored_on=(3, 4))
+    hit = DhtValue(1, 2, True, value=(3, 4))
+    assert type(ack) is not type(hit)
+    assert ack.stored_on == (3, 4) and ack.wire_size != hit.wire_size
+
+
+def test_storage_message_sizes_scale():
+    from repro.core.messages import DhtPutAck, StoreGet, StorePutResult
+
+    assert DhtPutAck(1, 2, True, stored_on=(1, 2, 3)).wire_size == \
+        DhtPutAck(1, 2, True).wire_size + 24
+    assert StoreGet(1, 2, 3, path=(1, 2)).wire_size == \
+        StoreGet(1, 2, 3).wire_size + 16
+    assert StorePutResult(1, 3, True, replicas=(1,)).wire_size == \
+        StorePutResult(1, 3, True).wire_size + 8

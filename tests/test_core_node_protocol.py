@@ -316,3 +316,42 @@ class TestMaintenanceProtocol:
         assert stats.by_type.get("KeepAliveAck", 0) > 0
         mm = net.nodes[net.ids[0]].maintenance
         assert mm is not None and mm.stats.keepalives_sent > 0
+
+
+class TestHandlerRegistry:
+    """The service handler-registration API (no monkey-patching)."""
+
+    def test_registered_handler_receives_datagrams(self):
+        sim, net, (a, b, _) = tiny_net()
+        seen = []
+        b.register_handler(Hello, lambda src, msg: seen.append((src, msg)))
+        a.send(b.ident, Hello(0, 1.0, 4))
+        sim.run()
+        assert seen and seen[0][0] == a.ident
+        # The registered handler replaced the built-in: no HelloAck came back.
+        assert not a.table.knows(b.ident)
+
+    def test_duplicate_registration_rejected(self):
+        sim, net, (a, _, _) = tiny_net()
+        a.register_handler(Hello, lambda src, msg: None)
+        with pytest.raises(ValueError):
+            a.register_handler(Hello, lambda src, msg: None)
+        a.register_handler(Hello, lambda src, msg: None, replace=True)  # ok
+
+    def test_unregister_restores_builtin(self):
+        sim, net, (a, b, _) = tiny_net()
+        b.register_handler(Hello, lambda src, msg: None)
+        b.unregister_handler(Hello)
+        b.unregister_handler(Hello)  # idempotent
+        a.send(b.ident, Hello(a.max_level, a.score, a.nc))
+        sim.run()
+        assert b.table.knows(a.ident)  # built-in _on_Hello ran again
+
+    def test_node_hooks_cover_built_and_joined_nodes(self, fresh_net):
+        seen = []
+        fresh_net.add_node_hook(lambda node: seen.append(node.ident))
+        assert sorted(seen) == sorted(fresh_net.ids)  # retroactive
+        new_id = max(fresh_net.ids) + 1
+        if new_id < fresh_net.config.space.extent:
+            fresh_net.join_new_node(new_id)
+            assert seen[-1] == new_id

@@ -42,7 +42,8 @@ def test_put_replicates(dht_net):
     assert len(r.stored_on) == 2
     key_id = r.key_id
     holders = [i for i in r.stored_on
-               if getattr(net.nodes[i], "kv_store", {}).get(key_id) == "v"]
+               if dht.stores[i].get(key_id) is not None
+               and dht.stores[i].get(key_id).value == "v"]
     assert len(holders) == 2
 
 
@@ -99,3 +100,19 @@ def test_survives_failures():
     hits = sum(dht.get(k, via=alive[i % len(alive)]).found
                for i, k in enumerate(keys))
     assert hits >= 30  # 3-way replication holds most keys through 25% loss
+
+
+def test_client_ops_return_while_maintenance_runs():
+    """Regression: put/get must not drain forever into the self-re-arming
+    keep-alive timers."""
+    net = TreePNetwork(config=TreePConfig.paper_case1(), seed=13)
+    net.build(32)
+    dht = TreePDht(net, replicas=2)
+    net.start_maintenance()
+    net.sim.max_events = 500_000  # fail loudly instead of hanging
+    try:
+        assert dht.put("timered", 1).found
+        assert dht.get("timered").value == 1
+    finally:
+        net.stop_maintenance()
+        net.sim.max_events = None

@@ -1,0 +1,159 @@
+"""Anti-entropy: under-replication detection, repair, periodic scheduling."""
+
+import pytest
+
+from repro import TreePConfig, TreePNetwork
+from repro.core.repair import FULL_POLICY, apply_failure_step
+from repro.storage import AntiEntropy, QuorumConfig, ReplicatedStore
+from repro.storage.store import VersionedValue
+
+
+@pytest.fixture()
+def loaded():
+    net = TreePNetwork(config=TreePConfig.paper_case1(), seed=21)
+    net.build(96)
+    store = ReplicatedStore(net, QuorumConfig(n=3, w=2, r=2))
+    keys = [f"k{i}" for i in range(20)]
+    for k in keys:
+        assert store.put(k, k.upper()).ok
+    return net, store, keys
+
+
+def test_clean_sweep_on_healthy_store(loaded):
+    net, store, keys = loaded
+    ae = AntiEntropy(store, interval=10.0)
+    # The first passes may relocate copies onto the global placement ideal;
+    # once aligned, sweeps are clean.
+    ae.converge()
+    report = ae.sweep()
+    assert report.clean
+    assert report.keys >= len(keys)
+    assert report.under_replicated == 0 and report.lost == 0
+
+
+def test_relocates_replicas_onto_new_closer_nodes(loaded):
+    """Regression: the sweep follows the placement ideal as the topology
+    grows, so routed reads keep landing on holders after joins."""
+    net, store, keys = loaded
+    ae = AntiEntropy(store, interval=10.0)
+    ae.converge()
+    key_id = store.key_id(keys[0])
+    # Three new nodes join right next to the key: they become the ideal
+    # replica set but hold nothing.
+    space = net.config.space
+    joiners = []
+    for d in (1, 2, 3):
+        ident = (key_id + d) % space.extent
+        if ident not in net.nodes:
+            net.join_new_node(ident)
+            joiners.append(ident)
+    net.sim.drain()
+    assert joiners, "test needs at least one joiner adjacent to the key"
+    ae.converge()
+    holders = store.replica_map()[key_id]
+    assert set(joiners) <= set(holders)
+
+
+def test_detects_and_repairs_under_replication(loaded):
+    net, store, keys = loaded
+    ae = AntiEntropy(store, interval=10.0)
+    # Kill one replica of a specific key.
+    key_id = store.key_id(keys[0])
+    victim = store.replica_map()[key_id][-1]
+    net.fail_nodes([victim])
+    apply_failure_step(net, [victim], FULL_POLICY)
+    assert store.live_replica_count(key_id) == 2
+    report = ae.sweep()
+    assert report.under_replicated >= 1 and report.repairs_sent >= 1
+    net.sim.drain()
+    assert store.live_replica_count(key_id) == 3
+    assert ae.sweep().clean
+
+
+def test_converge_restores_full_replication_after_mass_failure(loaded):
+    net, store, keys = loaded
+    ae = AntiEntropy(store, interval=10.0)
+    victims = net.ids[::7]  # ~14%, deterministic
+    net.fail_nodes(victims)
+    apply_failure_step(net, victims, FULL_POLICY)
+    rounds = ae.converge()
+    assert rounds <= 4
+    rfs = store.replication_factors()
+    assert min(rfs.values()) == store.quorum.n
+    assert ae.tracker.latest().under_replicated == 0
+
+
+def test_stale_rejoiner_overwritten(loaded):
+    net, store, keys = loaded
+    ae = AntiEntropy(store, interval=10.0)
+    key_id = store.key_id(keys[3])
+    victim = store.replica_map()[key_id][-1]
+    # The victim goes down, misses an overwrite, then rejoins stale.
+    net.network.set_down(victim)
+    apply_failure_step(net, [victim], FULL_POLICY)  # purge stale routes
+    assert store.put(keys[3], "NEWER").ok
+    net.network.set_up(victim)
+    stale = store.agents[victim].store.get(key_id)
+    fresh_version = max(
+        a.store.version_of(key_id) for a in store.agents.values())
+    assert stale.version < fresh_version
+    ae.converge()
+    assert store.agents[victim].store.get(key_id).value == "NEWER"
+
+
+def test_periodic_scheduling_with_simulator(loaded):
+    net, store, keys = loaded
+    ae = AntiEntropy(store, interval=10.0)
+    ae.start()
+    assert ae.running
+    # A replica dies; the timer-driven sweeps repair it as sim time passes.
+    key_id = store.key_id(keys[1])
+    victim = store.replica_map()[key_id][-1]
+    net.fail_nodes([victim])
+    apply_failure_step(net, [victim], FULL_POLICY)
+    net.sim.run_for(35.0)
+    ae.stop()
+    assert not ae.running
+    assert len(ae.reports) >= 3
+    assert store.live_replica_count(key_id) == 3
+    # The tracker recorded the dip and the recovery.
+    assert ae.tracker.min_rf.ys().min() <= 2
+    assert ae.tracker.latest().under_replicated == 0
+
+
+def test_interval_validation(loaded):
+    net, store, _ = loaded
+    with pytest.raises(ValueError):
+        AntiEntropy(store, interval=0)
+
+
+def test_lost_key_reported(loaded):
+    net, store, keys = loaded
+    ae = AntiEntropy(store, interval=10.0)
+    key_id = store.key_id(keys[5])
+    for holder in store.replica_map()[key_id]:
+        net.network.set_down(holder)
+    report = ae.sweep()
+    assert report.lost >= 1
+    assert not ae.tracker.always_durable
+
+
+def test_stale_copy_outside_target_set_reconciled(loaded):
+    """A stale copy parked on a node that is *not* a placement target is
+    still overwritten — otherwise a later failure burst could route reads
+    onto it and resurrect the old value."""
+    net, store, keys = loaded
+    ae = AntiEntropy(store, interval=10.0)
+    ae.converge()
+    key_id = store.key_id(keys[4])
+    fresh = max(
+        (a.store.get(key_id) for a in store.agents.values()
+         if a.store.get(key_id) is not None),
+        key=VersionedValue.stamp,
+    )
+    targets = store.placement.repair_targets(net, key_id, store.quorum.n)
+    far = max((i for i in net.alive_ids() if i not in targets),
+              key=lambda i: net.config.space.distance(i, key_id))
+    store.agents[far].store._data[key_id] = VersionedValue("STALE", 99, -1, 0.0)
+    ae.converge()
+    assert store.agents[far].store.get(key_id).value == fresh.value
