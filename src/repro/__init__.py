@@ -12,14 +12,22 @@ Public surface:
 * :mod:`repro.storage` — the replicated key/value subsystem: quorum
   reads/writes (:class:`~repro.storage.quorum.ReplicatedStore`), versioned
   per-node stores, and churn-driven anti-entropy re-replication.
+* :mod:`repro.compute` — the grid job-execution subsystem: a message-level
+  distributed scheduler (:class:`~repro.compute.scheduler.JobScheduler`)
+  with aggregate-walking matchmaking, heartbeat failure detection,
+  checkpointed re-execution on top of the replicated store, DAG
+  dependencies and sibling work stealing.
 * :mod:`repro.baselines` — Chord and flooding comparators on the same
   simulated substrate.
 * :mod:`repro.experiments` — one runner per figure of the paper's §IV.
 
-See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
-paper-vs-measured record.
+See README.md for the module map ("Module map") and the per-subsystem
+overviews ("Storage subsystem in one paragraph", "Compute subsystem in one
+paragraph"); each ``benchmarks/bench_*.py`` prints the measured-vs-paper
+record it regenerates.
 """
 
+from repro.compute import ComputeConfig, JobResult, JobScheduler, JobSpec
 from repro.core.capacity import CapacityDistribution, NodeCapacity
 from repro.core.config import TreePConfig
 from repro.core.ids import IdSpace
@@ -27,12 +35,16 @@ from repro.core.lookup import LookupAlgorithm, LookupResult
 from repro.core.treep import TreePNetwork
 from repro.storage import AntiEntropy, QuorumConfig, ReplicatedStore
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AntiEntropy",
     "CapacityDistribution",
+    "ComputeConfig",
     "IdSpace",
+    "JobResult",
+    "JobScheduler",
+    "JobSpec",
     "LookupAlgorithm",
     "LookupResult",
     "NodeCapacity",

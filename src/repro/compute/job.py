@@ -1,0 +1,179 @@
+"""Job model of the grid execution subsystem.
+
+A :class:`JobSpec` is what a grid user submits: a CPU demand (share units
+held while running), an amount of *work* (virtual seconds of unit-rate
+compute — a job's runtime is its remaining work, heterogeneity shows up as
+how many jobs a peer can hold concurrently), a minimum-capability
+:class:`~repro.services.discovery.Constraint`, and optional DAG
+dependencies on other job ids.
+
+:class:`JobRecord` is the scheduler-side life-cycle state;
+:class:`JobResult` the client-visible outcome; :class:`ComputeConfig` the
+subsystem's tunables (heartbeat cadence, checkpoint interval, work-stealing
+dial).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional, Set, Tuple
+
+from repro.services.discovery import Constraint
+
+
+@dataclass(frozen=True)
+class ComputeConfig:
+    """Tunables of the job-execution subsystem.
+
+    Attributes
+    ----------
+    heartbeat_interval:
+        Seconds between a worker's per-job progress heartbeats.
+    heartbeat_timeout:
+        Scheduler declares a worker dead for a job after this long without
+        a heartbeat (must exceed a couple of intervals plus latency).
+    monitor_interval:
+        Cadence of the scheduler's failure-detection / retry sweep.
+    checkpoint_interval:
+        Seconds between a worker's quorum-stored progress checkpoints;
+        ``None`` disables checkpointing (the restart-from-scratch
+        ablation — re-executions then restart from zero).
+    checkpoint_read_timeout:
+        How long a resuming worker waits for the checkpoint read before
+        starting from zero anyway.
+    steal_interval:
+        Cadence at which an idle worker probes its level-0 siblings for
+        queued work; ``None`` disables work stealing.
+    lease_timeout:
+        A worker abandons a held job (after a final checkpoint) when its
+        heartbeats have gone unacknowledged this long — fencing that
+        bounds duplicate execution when a scheduler dies or a job is
+        re-placed away from a live-but-partitioned worker.
+    max_results:
+        Candidate pool size the matchmaker requests from the resource
+        directory per placement.
+    max_attempts:
+        A job is FAILED after this many dispatch attempts.
+    """
+
+    heartbeat_interval: float = 5.0
+    heartbeat_timeout: float = 12.0
+    monitor_interval: float = 4.0
+    checkpoint_interval: Optional[float] = 10.0
+    checkpoint_read_timeout: float = 8.0
+    steal_interval: Optional[float] = 6.0
+    lease_timeout: float = 15.0
+    max_results: int = 8
+    max_attempts: int = 64
+
+    def __post_init__(self) -> None:
+        for name in ("heartbeat_interval", "heartbeat_timeout",
+                     "monitor_interval", "checkpoint_read_timeout"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be > 0")
+        if self.checkpoint_interval is not None and self.checkpoint_interval <= 0:
+            raise ValueError("checkpoint_interval must be > 0 or None")
+        if self.steal_interval is not None and self.steal_interval <= 0:
+            raise ValueError("steal_interval must be > 0 or None")
+        if self.heartbeat_timeout <= self.heartbeat_interval:
+            raise ValueError("heartbeat_timeout must exceed heartbeat_interval")
+        if self.lease_timeout <= self.heartbeat_interval:
+            raise ValueError("lease_timeout must exceed heartbeat_interval")
+        if self.max_results < 1 or self.max_attempts < 1:
+            raise ValueError("max_results and max_attempts must be >= 1")
+
+    @property
+    def checkpointing(self) -> bool:
+        return self.checkpoint_interval is not None
+
+    @property
+    def stealing(self) -> bool:
+        return self.steal_interval is not None
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """What a submitter asks the grid to run."""
+
+    job_id: int
+    cpu_demand: float = 1.0
+    work: float = 10.0
+    constraint: Constraint = field(default_factory=Constraint)
+    deps: Tuple[int, ...] = ()
+    #: Absolute virtual arrival time used by workload replay
+    #: (:meth:`JobScheduler.schedule_submissions`); 0 = immediately.
+    submit_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cpu_demand <= 0:
+            raise ValueError(f"cpu_demand must be > 0, got {self.cpu_demand}")
+        if self.work <= 0:
+            raise ValueError(f"work must be > 0, got {self.work}")
+        if self.job_id in self.deps:
+            raise ValueError(f"job {self.job_id} depends on itself")
+        if self.submit_at < 0:
+            raise ValueError(f"submit_at must be >= 0, got {self.submit_at}")
+
+
+class JobState(str, Enum):
+    """Scheduler-side life cycle."""
+
+    WAITING = "waiting"    # DAG dependencies not yet complete
+    PENDING = "pending"    # ready, no worker found yet (retried)
+    RUNNING = "running"    # dispatched (running or queued at a worker)
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class JobRecord:
+    """One job's state in the scheduler's table."""
+
+    job_id: int
+    origin: int
+    request_id: int
+    cpu_demand: float
+    work: float
+    constraint: Constraint
+    deps_remaining: Set[int]
+    state: JobState = JobState.PENDING
+    worker: Optional[int] = None
+    attempt: int = 0
+    resume: bool = False
+    last_heard: float = 0.0
+    progress: float = 0.0
+    submitted_at: float = 0.0
+    completed_at: Optional[float] = None
+    executed: float = 0.0
+    reexecutions: int = 0
+    placement_hops: int = 0
+    placements: int = 0
+    #: Consecutive matchmaking rounds that found no admitting live peer.
+    no_candidate_rounds: int = 0
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in (JobState.DONE, JobState.FAILED)
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Client-visible outcome of one submitted job."""
+
+    job_id: int
+    ok: bool
+    worker: int = -1
+    attempts: int = 1
+    submitted_at: float = 0.0
+    completed_at: float = 0.0
+
+    @property
+    def turnaround(self) -> float:
+        """Virtual seconds from submission to the terminal report."""
+        return max(0.0, self.completed_at - self.submitted_at)
+
+
+def checkpoint_key(job_id: int) -> str:
+    """The replicated-store key a job's progress checkpoints live under."""
+    return f"ckpt/{job_id:08d}"

@@ -1,0 +1,600 @@
+"""The scheduler role and the grid client facade.
+
+:class:`SchedulerCore` is the node-resident half: it lives on exactly one
+peer (attached to that node's :class:`~repro.compute.worker.ComputeAgent`)
+and speaks only protocol messages — submissions arrive as routed
+:class:`~repro.core.messages.JobSubmit` datagrams, placements leave as
+:class:`~repro.core.messages.JobDispatch`, liveness comes back as
+:class:`~repro.core.messages.JobHeartbeat`.  Matchmaking walks the
+hierarchy's capability aggregates (:class:`~repro.services.discovery.ResourceDirectory`)
+and picks the admitted candidate with the most *remaining* headroom under
+the scheduler's own assignment book — the discovery + load-balancing combo
+the paper positions TreeP under DGET for.
+
+:class:`JobScheduler` is the synchronous-ish client facade (the compute
+analogue of :class:`~repro.storage.quorum.ReplicatedStore`): it attaches a
+:class:`~repro.compute.worker.ComputeAgent` to every node, injects
+submissions at any live peer, collects :class:`~repro.core.messages.JobReport`
+outcomes, and drives the simulator in bounded windows.  It also owns
+**scheduler failover**: when churn kills the scheduler peer,
+:meth:`JobScheduler.ensure_scheduler` promotes the best surviving peer and
+resubmits every unfinished job from the client's own records with
+``resume=True`` — workers then restart from their last quorum-stored
+checkpoint, not from zero.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
+
+from repro.compute.job import (
+    ComputeConfig,
+    JobRecord,
+    JobResult,
+    JobSpec,
+    JobState,
+)
+from repro.compute.worker import ComputeAgent
+from repro.core.messages import (
+    JobAccepted,
+    JobAck,
+    JobComplete,
+    JobDispatch,
+    JobHeartbeat,
+    JobLease,
+    JobRejected,
+    JobReport,
+    JobSubmit,
+)
+from repro.metrics.scheduling import SchedulingStats
+from repro.services.discovery import Constraint, ResourceDirectory
+from repro.storage.quorum import QuorumConfig, ReplicatedStore
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.treep import TreePNetwork
+
+
+class SchedulerCore:
+    """Node-resident job table + matchmaker + failure detector."""
+
+    def __init__(
+        self,
+        agent: ComputeAgent,
+        service: "JobScheduler",
+        completed: Optional[Set[int]] = None,
+        failed: Optional[Set[int]] = None,
+    ) -> None:
+        self.agent = agent
+        self.node = agent.node
+        self.service = service
+        self.records: Dict[int, JobRecord] = {}
+        #: job id -> ids of WAITING jobs blocked on it.
+        self.dependents: Dict[int, Set[int]] = {}
+        #: CPU-share units this scheduler believes each worker holds.
+        self.assigned: Dict[int, float] = {}
+        #: Job ids known complete / failed (seeded from the client's
+        #: records on failover so reconstructed DAGs neither re-run
+        #: finished stages nor wait forever on failed ones).
+        self.completed: Set[int] = set(completed or ())
+        self.failed: Set[int] = set(failed or ())
+        self._timer = self.node.sim.every(
+            service.config.monitor_interval, self._monitor_tick,
+            label=f"sched-monitor:{self.node.ident}",
+        )
+
+    def stop(self) -> None:
+        self._timer.stop()
+
+    # ------------------------------------------------------------- helpers
+    def _up(self, ident: int) -> bool:
+        return self.node.network.is_up(ident)
+
+    def _free(self, ident: int) -> float:
+        cap = self.service.net.capacities[ident]
+        return cap.effective_cpu - self.assigned.get(ident, 0.0)
+
+    def _release(self, rec: JobRecord, worker: Optional[int] = None) -> None:
+        w = worker if worker is not None else rec.worker
+        if w is not None:
+            self.assigned[w] = max(0.0, self.assigned.get(w, 0.0) - rec.cpu_demand)
+        if worker is None:
+            rec.worker = None
+
+    # ----------------------------------------------------------- submission
+    def on_submit(self, src: int, msg: JobSubmit) -> None:
+        now = self.node.sim.now
+        existing = self.records.get(msg.job_id)
+        if existing is not None or msg.job_id in self.completed:
+            self.node.send(msg.origin, JobAck(
+                msg.request_id, msg.job_id, self.node.ident, hops=msg.ttl))
+            return
+        rec = JobRecord(
+            job_id=msg.job_id, origin=msg.origin, request_id=msg.request_id,
+            cpu_demand=msg.cpu_demand, work=msg.work,
+            constraint=Constraint(min_cpu=msg.min_cpu,
+                                  min_memory_gb=msg.min_memory_gb,
+                                  min_bandwidth_mbps=msg.min_bandwidth_mbps),
+            deps_remaining={d for d in msg.deps if d not in self.completed},
+            resume=msg.resume, submitted_at=now, last_heard=now,
+        )
+        self.records[msg.job_id] = rec
+        self.node.send(msg.origin, JobAck(
+            msg.request_id, msg.job_id, self.node.ident, hops=msg.ttl))
+        if self._any_dep_failed(msg.deps):
+            self._fail(rec)  # a dead dependency can never be satisfied
+        elif rec.deps_remaining:
+            rec.state = JobState.WAITING
+            for d in rec.deps_remaining:
+                self.dependents.setdefault(d, set()).add(msg.job_id)
+        else:
+            self._dispatch(rec)
+
+    def _any_dep_failed(self, deps) -> bool:
+        for d in deps:
+            if d in self.failed:
+                return True
+            drec = self.records.get(d)
+            if drec is not None and drec.state is JobState.FAILED:
+                return True
+        return False
+
+    # ------------------------------------------------------------ placement
+    def _dispatch(self, rec: JobRecord, exclude: frozenset = frozenset()) -> None:
+        if rec.attempt >= self.service.config.max_attempts:
+            self._fail(rec)
+            return
+        # Matchmake from a random live entry point: the directory walk
+        # ascends only until an ancestor's aggregate admits the constraint,
+        # so placements explore different subtrees instead of always
+        # draining the root's first cells (sibling work stealing then
+        # smooths any local saturation).
+        res = self.service.directory.query(
+            rec.constraint, origin=self.service.random_origin(),
+            max_results=self.service.config.max_results,
+        )
+        rec.placement_hops += res.hops
+        rec.placements += 1
+        self.service.placement_hops_total += res.hops
+        self.service.placements_total += 1
+        candidates = [c for c in res.matches if self._up(c) and c not in exclude]
+        if not candidates:
+            rec.no_candidate_rounds += 1
+            if rec.no_candidate_rounds >= self.service.config.max_attempts:
+                self._fail(rec)  # persistently unplaceable constraint
+            else:
+                rec.state = JobState.PENDING
+                rec.worker = None
+            return  # otherwise the monitor sweep retries
+        rec.no_candidate_rounds = 0
+        with_room = [c for c in candidates if self._free(c) >= rec.cpu_demand]
+        if with_room:
+            worker = max(with_room, key=lambda c: (self._free(c), c))
+        else:
+            # Saturated: queue at the beefiest admitted peer; idle siblings
+            # will steal from its queue.
+            cap = self.service.net.capacities
+            worker = max(candidates, key=lambda c: (cap[c].effective_cpu, c))
+        rec.attempt += 1
+        rec.state = JobState.RUNNING
+        rec.worker = worker
+        rec.last_heard = self.node.sim.now
+        self.assigned[worker] = self.assigned.get(worker, 0.0) + rec.cpu_demand
+        c = rec.constraint
+        self.node.send(worker, JobDispatch(
+            rec.job_id, self.node.ident, rec.attempt,
+            cpu_demand=rec.cpu_demand, work=rec.work,
+            min_cpu=c.min_cpu, min_memory_gb=c.min_memory_gb,
+            min_bandwidth_mbps=c.min_bandwidth_mbps,
+            resume=rec.resume or rec.attempt > 1,
+        ))
+
+    def _fail(self, rec: JobRecord) -> None:
+        rec.state = JobState.FAILED
+        rec.completed_at = self.node.sim.now
+        self.failed.add(rec.job_id)
+        self._release(rec)
+        self.node.send(rec.origin, JobReport(
+            rec.request_id, rec.job_id, ok=False,
+            worker=-1, attempts=max(1, rec.attempt)))
+        # A failed dependency can never satisfy its dependents: cascade.
+        for dep_id in sorted(self.dependents.pop(rec.job_id, ())):
+            drec = self.records.get(dep_id)
+            if drec is not None and drec.state is JobState.WAITING:
+                self._fail(drec)
+
+    # ------------------------------------------------------- worker traffic
+    def on_accepted(self, src: int, msg: JobAccepted) -> None:
+        rec = self.records.get(msg.job_id)
+        if rec is None or rec.terminal or msg.attempt != rec.attempt:
+            return
+        rec.last_heard = self.node.sim.now
+        rec.worker = msg.worker
+
+    def on_rejected(self, src: int, msg: JobRejected) -> None:
+        rec = self.records.get(msg.job_id)
+        if rec is None or rec.terminal or msg.attempt != rec.attempt:
+            return
+        self._release(rec, msg.worker)
+        rec.worker = None
+        self._dispatch(rec, exclude=frozenset((msg.worker,)))
+
+    def on_heartbeat(self, src: int, msg: JobHeartbeat) -> None:
+        rec = self.records.get(msg.job_id)
+        if rec is None or rec.terminal or msg.attempt != rec.attempt:
+            return  # no lease ack: a stale attempt will fence itself off
+        rec.last_heard = self.node.sim.now
+        rec.progress = max(rec.progress, msg.progress)
+        self.node.send(msg.worker, JobLease(msg.job_id, msg.attempt))
+        if msg.worker != rec.worker:
+            # Work stealing: the attempt moved to a sibling — move the
+            # assignment book entry and re-own the job.
+            self._release(rec, rec.worker)
+            rec.worker = msg.worker
+            self.assigned[msg.worker] = (
+                self.assigned.get(msg.worker, 0.0) + rec.cpu_demand)
+            self.service.steal_reassignments += 1
+
+    def on_complete(self, src: int, msg: JobComplete) -> None:
+        rec = self.records.get(msg.job_id)
+        if rec is None:
+            return
+        if rec.terminal:
+            # A duplicate attempt (pre-failover stragglers) finished after
+            # the job was already terminal: just return its share.
+            self._release(rec, msg.worker)
+            return
+        rec.state = JobState.DONE
+        rec.completed_at = self.node.sim.now
+        rec.executed += msg.executed
+        self._release(rec, msg.worker)
+        rec.worker = msg.worker  # the peer that actually finished it
+        self.completed.add(msg.job_id)
+        self.node.send(rec.origin, JobReport(
+            rec.request_id, rec.job_id, ok=True,
+            worker=msg.worker, attempts=max(1, rec.attempt)))
+        self._unblock(msg.job_id)
+
+    def _unblock(self, done_id: int) -> None:
+        for dep_id in sorted(self.dependents.pop(done_id, ())):
+            drec = self.records.get(dep_id)
+            if drec is None or drec.state is not JobState.WAITING:
+                continue
+            drec.deps_remaining.discard(done_id)
+            if not drec.deps_remaining:
+                self._dispatch(drec)
+
+    # ------------------------------------------------------------- monitor
+    def _monitor_tick(self) -> None:
+        if self.agent.scheduler is not self or not self._up(self.node.ident):
+            self._timer.stop()
+            return
+        now = self.node.sim.now
+        timeout = self.service.config.heartbeat_timeout
+        for rec in list(self.records.values()):
+            if rec.state is JobState.RUNNING:
+                if now - rec.last_heard > timeout:
+                    # Missed heartbeats: declare the worker dead for this
+                    # job and re-place, resuming from the last checkpoint.
+                    old = rec.worker
+                    self._release(rec)
+                    rec.reexecutions += 1
+                    self.service.reexecutions += 1
+                    rec.last_heard = now
+                    self._dispatch(
+                        rec,
+                        exclude=frozenset(() if old is None else (old,)))
+            elif rec.state is JobState.PENDING:
+                self._dispatch(rec)
+            elif rec.state is JobState.WAITING:
+                # Failover reconstruction may have satisfied deps already —
+                # or shown them unsatisfiable.
+                rec.deps_remaining -= self.completed
+                if self._any_dep_failed(rec.deps_remaining):
+                    self._fail(rec)
+                elif not rec.deps_remaining:
+                    self._dispatch(rec)
+
+
+@dataclass
+class _ClientJob:
+    """The submitter-side record of one job."""
+
+    spec: JobSpec
+    origin: int
+    request_id: int
+    submitted_at: float
+    last_sent: float = 0.0
+    acked: bool = False
+    #: Whether the last send asked for checkpoint resume (kept so a lost
+    #: failover resubmission is retried with the same semantics).
+    resume: bool = False
+
+
+class JobScheduler:
+    """Grid job execution client against a built TreeP network.
+
+    >>> net = TreePNetwork(seed=7); _ = net.build(64)
+    >>> grid = JobScheduler(net)
+    >>> jid = grid.submit(JobSpec(job_id=1, cpu_demand=1.0, work=5.0))
+    >>> grid.run_until_done(timeout=120.0)
+    True
+    >>> grid.results[jid].ok
+    True
+    """
+
+    def __init__(
+        self,
+        net: "TreePNetwork",
+        store: Optional[ReplicatedStore] = None,
+        config: Optional[ComputeConfig] = None,
+        quorum: Optional[QuorumConfig] = None,
+    ) -> None:
+        if net.layout is None:
+            raise RuntimeError("network must be built first")
+        self.net = net
+        self.config = config if config is not None else ComputeConfig()
+        self._owns_store = store is None
+        self.store = store if store is not None else ReplicatedStore(net, quorum)
+        self.directory = ResourceDirectory(net)
+        self._rng = net.rng.get("compute-scheduler")
+        self.agents: Dict[int, ComputeAgent] = {}
+        self._rid = itertools.count(1)
+        #: Every job this client has (or will have) submitted: id -> spec.
+        self.expected: Dict[int, JobSpec] = {}
+        self.client: Dict[int, _ClientJob] = {}
+        self.results: Dict[int, JobResult] = {}
+        self.scheduler_ident: Optional[int] = None
+        # ---- service-wide counters surviving scheduler failover ----
+        self.reexecutions = 0
+        self.steal_reassignments = 0
+        self.failovers = 0
+        self.placement_hops_total = 0
+        self.placements_total = 0
+        net.add_node_hook(self._attach)
+        self.activate_scheduler()
+
+    def _attach(self, node) -> None:
+        self.agents[node.ident] = ComputeAgent(node, self)
+
+    def close(self) -> None:
+        """Detach from the network and stop every timer this service owns.
+
+        A store this facade created for itself is closed with it; an
+        injected store stays attached (its lifecycle belongs to the
+        caller)."""
+        self.net.remove_node_hook(self._attach)
+        for agent in self.agents.values():
+            if agent.scheduler is not None:
+                agent.scheduler.stop()
+                agent.scheduler = None
+            agent.close()
+        if self._owns_store:
+            self.store.close()
+
+    def random_origin(self) -> int:
+        """A seeded random live peer (matchmaking entry-point diversity)."""
+        alive = self.net.alive_ids()
+        if not alive:
+            raise RuntimeError("no live node left")
+        return alive[int(self._rng.integers(0, len(alive)))]
+
+    # ------------------------------------------------------ scheduler role
+    def _pick_scheduler(self) -> int:
+        """The best surviving peer: highest level, then score, then id."""
+        live = [self.net.nodes[i] for i in self.net.ids
+                if self.net.network.is_up(i)]
+        if not live:
+            raise RuntimeError("no live node to host the scheduler")
+        best = max(live, key=lambda n: (n.max_level, n.score, n.ident))
+        return best.ident
+
+    def activate_scheduler(self, ident: Optional[int] = None) -> int:
+        """Install the scheduler role on *ident* (default: the best peer)."""
+        ident = ident if ident is not None else self._pick_scheduler()
+        if not self.net.network.is_up(ident):
+            raise ValueError(f"scheduler host {ident} is down")
+        old = self.scheduler_ident
+        if old is not None and old in self.agents:
+            core = self.agents[old].scheduler
+            if core is not None:
+                core.stop()
+            self.agents[old].scheduler = None
+        done = {jid for jid, r in self.results.items() if r.ok}
+        lost = {jid for jid, r in self.results.items() if not r.ok}
+        self.agents[ident].scheduler = SchedulerCore(
+            self.agents[ident], self, completed=done, failed=lost)
+        self.scheduler_ident = ident
+        return ident
+
+    def scheduler_core(self) -> Optional[SchedulerCore]:
+        if self.scheduler_ident is None:
+            return None
+        agent = self.agents.get(self.scheduler_ident)
+        return agent.scheduler if agent is not None else None
+
+    def ensure_scheduler(self) -> bool:
+        """Fail over the scheduler role if its host died.
+
+        Promotes the best surviving peer and resubmits every unfinished job
+        from the client's own records with ``resume=True``, so workers
+        restart from their last quorum-stored checkpoint.  Returns ``True``
+        when a failover happened.  Call after churn, the way the storage
+        benches call :func:`~repro.core.repair.apply_failure_step`.
+        """
+        if (self.scheduler_ident is not None
+                and self.net.network.is_up(self.scheduler_ident)
+                and self.scheduler_core() is not None):
+            return False
+        self._harvest()
+        self.failovers += 1
+        self.activate_scheduler()
+        for job_id, spec in self.expected.items():
+            if job_id in self.results or job_id not in self.client:
+                continue  # finished, or not yet submitted by the workload
+            self._send_submit(spec, resume=True)
+        return True
+
+    # ----------------------------------------------------------- submission
+    #: Seconds an un-acknowledged submission waits before being re-sent
+    #: (the submit datagram is fire-and-forget UDP; a relay dying with it
+    #: in flight must not strand the job).
+    SUBMIT_RETRY = 12.0
+
+    def submit(self, spec: JobSpec, via: Optional[int] = None) -> int:
+        """Submit one job through a live entry point; returns the job id."""
+        if spec.job_id in self.expected:
+            raise ValueError(f"job {spec.job_id} already submitted")
+        self.expected[spec.job_id] = spec
+        self._send_submit(spec, via=via)
+        return spec.job_id
+
+    def _send_submit(
+        self, spec: JobSpec, via: Optional[int] = None, resume: bool = False
+    ) -> None:
+        origin = self.net.live_origin(
+            via if via is not None and self.net.network.is_up(via) else None)
+        rid = next(self._rid)
+        self.client[spec.job_id] = _ClientJob(
+            spec=spec, origin=origin.ident, request_id=rid,
+            submitted_at=(self.client[spec.job_id].submitted_at
+                          if spec.job_id in self.client
+                          else self.net.sim.now),
+            last_sent=self.net.sim.now, resume=resume,
+        )
+        c = spec.constraint
+        msg = JobSubmit(
+            rid, origin.ident, spec.job_id, self.scheduler_ident,
+            cpu_demand=spec.cpu_demand, work=spec.work,
+            min_cpu=c.min_cpu, min_memory_gb=c.min_memory_gb,
+            min_bandwidth_mbps=c.min_bandwidth_mbps,
+            deps=spec.deps, resume=resume,
+        )
+        self.agents[origin.ident].handle_submit(origin.ident, msg)
+
+    def schedule_submissions(
+        self, specs: List[JobSpec], via_pool: Optional[List[int]] = None
+    ) -> None:
+        """Arrange each spec's submission at absolute virtual time
+        ``spec.submit_at`` (arrivals already in the past fire immediately).
+
+        All job ids are registered in :attr:`expected` immediately, so
+        :meth:`run_until_done` waits for arrivals that have not fired yet.
+        """
+        for spec in specs:
+            if spec.job_id in self.expected:
+                raise ValueError(f"job {spec.job_id} already scheduled")
+            self.expected[spec.job_id] = spec
+        for i, spec in enumerate(specs):
+            via = via_pool[i % len(via_pool)] if via_pool else None
+            self.net.sim.schedule_at(
+                max(self.net.sim.now, spec.submit_at),
+                lambda s=spec, v=via: self._send_submit(s, via=v),
+                label=f"job-submit:{spec.job_id}",
+            )
+
+    # -------------------------------------------------------------- results
+    def _on_ack(self, origin: int, msg: JobAck) -> None:
+        rec = self.client.get(msg.job_id)
+        if rec is not None and rec.request_id == msg.request_id:
+            rec.acked = True
+
+    def _deposit(self, origin: int, msg: JobReport) -> None:
+        if msg.job_id in self.results:
+            return
+        rec = self.client.get(msg.job_id)
+        self.results[msg.job_id] = JobResult(
+            job_id=msg.job_id, ok=msg.ok, worker=msg.worker,
+            attempts=msg.attempts,
+            submitted_at=rec.submitted_at if rec is not None else 0.0,
+            completed_at=self.net.sim.now,
+        )
+
+    def _harvest(self) -> None:
+        """Fold terminal records the origin never heard about into results.
+
+        The driver-side converged view (mirroring the storage subsystem's
+        split): a :class:`~repro.core.messages.JobReport` to an origin that
+        died after submitting would otherwise strand a finished job.
+        """
+        core = self.scheduler_core()
+        if core is None:
+            return
+        for rec in core.records.values():
+            if rec.terminal and rec.job_id not in self.results:
+                crec = self.client.get(rec.job_id)
+                self.results[rec.job_id] = JobResult(
+                    job_id=rec.job_id, ok=rec.state is JobState.DONE,
+                    worker=rec.worker if rec.worker is not None else -1,
+                    attempts=max(1, rec.attempt),
+                    submitted_at=(crec.submitted_at if crec is not None
+                                  else rec.submitted_at),
+                    completed_at=(rec.completed_at
+                                  if rec.completed_at is not None
+                                  else self.net.sim.now),
+                )
+
+    def pending_jobs(self) -> List[int]:
+        return [jid for jid in self.expected if jid not in self.results]
+
+    def has_active_jobs(self) -> bool:
+        return len(self.results) < len(self.expected)
+
+    def _retry_unacked(self) -> None:
+        """Re-send submissions the scheduler never acknowledged.
+
+        The submit datagram can die with a relay (UDP semantics); the
+        scheduler handles re-submissions idempotently, so retrying is
+        always safe."""
+        now = self.net.sim.now
+        for job_id, crec in list(self.client.items()):
+            if job_id in self.results or crec.acked:
+                continue
+            if now - crec.last_sent > self.SUBMIT_RETRY:
+                self._send_submit(crec.spec, resume=crec.resume)
+
+    def run_until_done(self, timeout: float, step: float = 10.0) -> bool:
+        """Run the sim in *step* windows until every expected job has a
+        terminal result or *timeout* virtual seconds pass."""
+        sim = self.net.sim
+        deadline = sim.now + timeout
+        while True:
+            self._harvest()
+            if not self.pending_jobs():
+                return True
+            if sim.now >= deadline:
+                return False
+            self._retry_unacked()
+            sim.run(until=min(deadline, sim.now + step))
+
+    # -------------------------------------------------------------- metrics
+    def stats(self) -> SchedulingStats:
+        """Scrape the subsystem's ground-truth scheduling metrics."""
+        self._harvest()
+        ok = [r for r in self.results.values() if r.ok]
+        useful = sum(self.expected[r.job_id].work for r in ok
+                     if r.job_id in self.expected)
+        executed = sum(a.executed_work for a in self.agents.values())
+        first_submit = min((c.submitted_at for c in self.client.values()),
+                           default=0.0)
+        last_done = max((r.completed_at for r in ok), default=first_submit)
+        return SchedulingStats(
+            submitted=len(self.expected),
+            completed=len(ok),
+            failed=sum(1 for r in self.results.values() if not r.ok),
+            makespan=max(0.0, last_done - first_submit),
+            useful_work=useful,
+            executed_work=executed,
+            reexecutions=self.reexecutions,
+            checkpoints_written=sum(a.checkpoints_written
+                                    for a in self.agents.values()),
+            steals=sum(a.steals_done for a in self.agents.values()),
+            steal_reassignments=self.steal_reassignments,
+            leases_expired=sum(a.leases_expired for a in self.agents.values()),
+            placement_hops=self.placement_hops_total,
+            placements=self.placements_total,
+            failovers=self.failovers,
+            mean_turnaround=(sum(r.turnaround for r in ok) / len(ok))
+            if ok else 0.0,
+        )

@@ -1,0 +1,478 @@
+"""The per-node compute agent: execution, checkpointing, work stealing.
+
+One :class:`ComputeAgent` is attached to every node through
+:meth:`TreePNode.register_handler` (the same pattern as the storage
+subsystem's :class:`~repro.storage.quorum.StorageAgent`).  Every node is a
+potential **worker**; at most one node at a time additionally carries the
+**scheduler** role (:class:`~repro.compute.scheduler.SchedulerCore`),
+attached to :attr:`ComputeAgent.scheduler`.
+
+Execution model
+---------------
+A job with CPU demand ``d`` occupies ``d`` share units of the worker's
+effective capacity (``cpu * (1 - cpu_load)``) while it runs, and runs at
+unit rate: remaining work == remaining virtual seconds.  Heterogeneity
+therefore shows up as *concurrency* — a 16-core peer runs sixteen
+unit-demand jobs at once where a laptop runs one — which keeps progress
+linear in time and checkpoints exact.  Jobs beyond the free capacity are
+queued; queues drain on completion and are the pool sibling workers steal
+from.
+
+Fault tolerance
+---------------
+While a job runs the worker (a) heartbeats its progress to the scheduler
+every ``heartbeat_interval`` and (b) writes a progress checkpoint into the
+replicated store (a real quorum write issued from this node) every
+``checkpoint_interval``.  A crashed worker simply goes silent: its timers
+fire into a dead node and wipe the in-memory job state (a restarted process
+has no memory).  When the scheduler re-places the job, the new worker reads
+the last checkpoint back (a quorum read) and resumes from there instead of
+from zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.compute.job import checkpoint_key
+from repro.core.lookup import greedy_key_next_hop
+from repro.core.messages import (
+    JobAccepted,
+    JobAck,
+    JobComplete,
+    JobDispatch,
+    JobHeartbeat,
+    JobLease,
+    JobRejected,
+    JobReport,
+    JobStealGrant,
+    JobStealRequest,
+    JobSubmit,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.compute.scheduler import JobScheduler, SchedulerCore
+    from repro.core.node import TreePNode
+
+
+@dataclass
+class HeldJob:
+    """One job held by a worker (loading a checkpoint, running, or queued)."""
+
+    job_id: int
+    cpu_demand: float
+    work: float
+    attempt: int
+    scheduler: int
+    resume: bool
+    min_cpu: float = 0.0
+    min_memory_gb: float = 0.0
+    min_bandwidth_mbps: float = 0.0
+    state: str = "queued"  # queued | loading | running
+    resume_from: float = 0.0
+    start_time: float = 0.0
+    last_accrual: float = 0.0
+    last_lease: float = 0.0
+    executed_attempt: float = 0.0
+    done_event: object = None
+    load_timeout: object = None
+
+    def progress(self, now: float) -> float:
+        if self.state == "running":
+            return min(self.work, self.resume_from + (now - self.start_time))
+        return self.resume_from
+
+
+class ComputeAgent:
+    """Worker half of the grid subsystem, one per node."""
+
+    def __init__(self, node: "TreePNode", service: "JobScheduler") -> None:
+        self.node = node
+        self.service = service
+        #: Scheduler role, populated on at most one node by the facade.
+        self.scheduler: Optional["SchedulerCore"] = None
+        self.running: Dict[int, HeldJob] = {}
+        self.queue: List[HeldJob] = []
+        # ---- ground-truth accounting the metrics scraper reads ----
+        #: Virtual compute seconds actually executed on this node (accrued
+        #: at heartbeat ticks and at completion; the sub-interval between a
+        #: worker's last tick and its death is unaccounted — identically so
+        #: for every ablation).
+        self.executed_work: float = 0.0
+        self.checkpoints_written: int = 0
+        self.steals_done: int = 0
+        self.stolen_from: int = 0
+        self.leases_expired: int = 0
+        self._hb_timer = None
+        self._ckpt_timer = None
+        self._steal_timer = None
+        for msg_type, handler in (
+            (JobSubmit, self.handle_submit),
+            (JobAck, self._on_ack),
+            (JobDispatch, self._on_dispatch),
+            (JobAccepted, self._to_scheduler("on_accepted")),
+            (JobRejected, self._to_scheduler("on_rejected")),
+            (JobHeartbeat, self._to_scheduler("on_heartbeat")),
+            (JobComplete, self._to_scheduler("on_complete")),
+            (JobLease, self._on_lease),
+            (JobReport, self._on_report),
+            (JobStealRequest, self._on_steal_request),
+            (JobStealGrant, self._on_steal_grant),
+        ):
+            node.register_handler(msg_type, handler, replace=True)
+        if service.config.stealing:
+            # Deterministic per-node phase de-synchronises probe storms.
+            phase = (node.ident % 97) / 97.0
+            self._steal_timer = node.sim.every(
+                service.config.steal_interval, self._steal_tick,
+                jitter=lambda: phase, label=f"steal:{node.ident}",
+            )
+
+    # ------------------------------------------------------------- plumbing
+    def _to_scheduler(self, method: str):
+        """Adapter: deliver a scheduler-bound message to the local role."""
+
+        def handler(src: int, msg) -> None:
+            if self.scheduler is not None:
+                getattr(self.scheduler, method)(src, msg)
+
+        return handler
+
+    def _up(self) -> bool:
+        return self.node.network.is_up(self.node.ident)
+
+    def close(self) -> None:
+        """Stop this agent's timers (facade shutdown)."""
+        for t in (self._hb_timer, self._ckpt_timer, self._steal_timer):
+            if t is not None:
+                t.stop()
+        self._hb_timer = self._ckpt_timer = self._steal_timer = None
+
+    # ------------------------------------------------------------ capacity
+    def effective_cpu(self) -> float:
+        return self.node.capacity.effective_cpu
+
+    def free_cpu(self) -> float:
+        used = sum(h.cpu_demand for h in self.running.values())
+        return self.effective_cpu() - used
+
+    # ------------------------------------------------------ submit routing
+    def handle_submit(self, src: int, msg: JobSubmit) -> None:
+        """Route a submission greedily towards the scheduler's overlay ID."""
+        if msg.scheduler == self.node.ident and self.scheduler is not None:
+            self.scheduler.on_submit(src, msg)
+            return
+        if msg.ttl > self.node.config.ttl_max:
+            return
+        nxt = greedy_key_next_hop(self.node, msg.scheduler)
+        if nxt is not None:
+            self.node.send(nxt, replace(msg, ttl=msg.ttl + 1))
+            return
+        if self.scheduler is not None:
+            # We are the closest live peer to a dead scheduler's ID and
+            # carry the failed-over role: adopt the submission.
+            self.scheduler.on_submit(src, msg)
+        # Otherwise the walk stalled at a non-scheduler (the scheduler died
+        # and no failover happened yet): drop; the facade resubmits when
+        # `ensure_scheduler` promotes a replacement.
+
+    def _on_ack(self, src: int, msg: JobAck) -> None:
+        self.service._on_ack(self.node.ident, msg)
+
+    def _on_report(self, src: int, msg: JobReport) -> None:
+        self.service._deposit(self.node.ident, msg)
+
+    # ------------------------------------------------------------ dispatch
+    def _on_dispatch(self, src: int, msg: JobDispatch) -> None:
+        held = self.running.get(msg.job_id)
+        if held is None:
+            held = next((h for h in self.queue if h.job_id == msg.job_id), None)
+        if held is not None:
+            # Already holding this job (failover re-dispatch landed on the
+            # worker still running it): adopt the new scheduler/attempt so
+            # heartbeats and the completion go to the right place.
+            held.scheduler = msg.scheduler
+            held.attempt = msg.attempt
+            held.last_lease = self.node.sim.now
+            self.node.send(msg.scheduler, JobAccepted(
+                msg.job_id, self.node.ident, msg.attempt,
+                queued=held.state == "queued"))
+            return
+        if msg.cpu_demand > self.effective_cpu():
+            self.node.send(msg.scheduler, JobRejected(
+                msg.job_id, self.node.ident, msg.attempt))
+            return
+        held = HeldJob(
+            job_id=msg.job_id, cpu_demand=msg.cpu_demand, work=msg.work,
+            attempt=msg.attempt, scheduler=msg.scheduler, resume=msg.resume,
+            min_cpu=msg.min_cpu, min_memory_gb=msg.min_memory_gb,
+            min_bandwidth_mbps=msg.min_bandwidth_mbps,
+            last_lease=self.node.sim.now,
+        )
+        queued = self.free_cpu() < held.cpu_demand
+        self.node.send(msg.scheduler, JobAccepted(
+            msg.job_id, self.node.ident, msg.attempt, queued=queued))
+        if queued:
+            self.queue.append(held)
+            self._ensure_timers()
+        else:
+            self._start(held)
+
+    # ----------------------------------------------------------- execution
+    def _start(self, held: HeldJob) -> None:
+        """Admit *held* into the running set (loading a checkpoint first
+        when this is a resumed attempt and checkpointing is on)."""
+        self.running[held.job_id] = held
+        self._ensure_timers()
+        if held.resume and self.service.config.checkpointing:
+            held.state = "loading"
+            me = self.node.ident
+            attempt = held.attempt
+            self.service.store.get_async(
+                checkpoint_key(held.job_id), via=me,
+                on_done=lambda res: self._on_checkpoint(held.job_id, attempt, res),
+            )
+            held.load_timeout = self.node.sim.schedule(
+                self.service.config.checkpoint_read_timeout,
+                lambda: self._checkpoint_timeout(held.job_id, attempt),
+                label=f"ckpt-read:{held.job_id}",
+            )
+        else:
+            self._begin(held, 0.0)
+
+    def _on_checkpoint(self, job_id: int, attempt: int, result) -> None:
+        held = self.running.get(job_id)
+        if held is None or held.attempt != attempt or held.state != "loading":
+            return
+        if held.load_timeout is not None:
+            held.load_timeout.cancel()  # type: ignore[attr-defined]
+            held.load_timeout = None
+        progress = 0.0
+        if getattr(result, "found", False) and isinstance(result.value, dict):
+            progress = float(result.value.get("progress", 0.0))
+        self._begin(held, progress)
+
+    def _checkpoint_timeout(self, job_id: int, attempt: int) -> None:
+        held = self.running.get(job_id)
+        if held is not None and held.attempt == attempt and held.state == "loading":
+            self._begin(held, 0.0)  # the read stalled: restart from zero
+
+    def _begin(self, held: HeldJob, resume_from: float) -> None:
+        now = self.node.sim.now
+        held.state = "running"
+        held.resume_from = min(max(0.0, resume_from), held.work)
+        held.start_time = now
+        held.last_accrual = now
+        held.executed_attempt = 0.0
+        remaining = max(held.work - held.resume_from, 1e-9)
+        attempt = held.attempt
+        held.done_event = self.node.sim.schedule(
+            remaining, lambda: self._complete(held.job_id, attempt),
+            label=f"job-done:{held.job_id}",
+        )
+
+    def _accrue(self, held: HeldJob, now: float) -> None:
+        if held.state != "running":
+            return
+        delta = max(0.0, now - held.last_accrual)
+        held.last_accrual = now
+        held.executed_attempt += delta
+        self.executed_work += delta
+
+    def _complete(self, job_id: int, attempt: int) -> None:
+        held = self.running.get(job_id)
+        if held is None or held.attempt != attempt or held.state != "running":
+            return
+        if not self._up():
+            self._crash_cleanup()
+            return
+        now = self.node.sim.now
+        self._accrue(held, now)
+        del self.running[job_id]
+        self.node.send(held.scheduler, JobComplete(
+            job_id, self.node.ident, attempt, executed=held.executed_attempt))
+        self._drain_queue()
+        if not self.running and not self.queue:
+            self._stop_job_timers()
+
+    def _drain_queue(self) -> None:
+        """Start queued jobs that now fit, FIFO with skips."""
+        i = 0
+        while i < len(self.queue):
+            held = self.queue[i]
+            if held.cpu_demand <= self.free_cpu():
+                self.queue.pop(i)
+                self._start(held)
+            else:
+                i += 1
+
+    def _crash_cleanup(self) -> None:
+        """The process died: wipe in-memory job state, go silent."""
+        for held in self.running.values():
+            if held.done_event is not None:
+                held.done_event.cancel()  # type: ignore[attr-defined]
+            if held.load_timeout is not None:
+                held.load_timeout.cancel()  # type: ignore[attr-defined]
+        self.running.clear()
+        self.queue.clear()
+        self._stop_job_timers()
+
+    # --------------------------------------------------------------- timers
+    def _ensure_timers(self) -> None:
+        sim = self.node.sim
+        cfg = self.service.config
+        if self._hb_timer is None or not self._hb_timer.running:
+            self._hb_timer = sim.every(cfg.heartbeat_interval, self._heartbeat_tick,
+                                       label=f"job-hb:{self.node.ident}")
+        if cfg.checkpointing and (self._ckpt_timer is None or not self._ckpt_timer.running):
+            self._ckpt_timer = sim.every(cfg.checkpoint_interval, self._checkpoint_tick,
+                                         label=f"job-ckpt:{self.node.ident}")
+
+    def _stop_job_timers(self) -> None:
+        for t in (self._hb_timer, self._ckpt_timer):
+            if t is not None:
+                t.stop()
+
+    def _heartbeat_tick(self) -> None:
+        if not self._up():
+            self._crash_cleanup()
+            return
+        now = self.node.sim.now
+        for held in list(self.running.values()):
+            self._accrue(held, now)
+            self.node.send(held.scheduler, JobHeartbeat(
+                held.job_id, self.node.ident, held.attempt,
+                progress=held.progress(now)))
+        for held in self.queue:
+            self.node.send(held.scheduler, JobHeartbeat(
+                held.job_id, self.node.ident, held.attempt,
+                progress=held.resume_from, queued=True))
+        self._expire_leases(now)
+
+    def _on_lease(self, src: int, msg: JobLease) -> None:
+        held = self.running.get(msg.job_id)
+        if held is None:
+            held = next((h for h in self.queue if h.job_id == msg.job_id), None)
+        if held is not None and held.attempt == msg.attempt:
+            held.last_lease = self.node.sim.now
+
+    def _expire_leases(self, now: float) -> None:
+        """Abandon jobs whose heartbeats stopped being acknowledged.
+
+        The scheduler died, or re-placed the job elsewhere and no longer
+        answers this attempt: write a final checkpoint so the resumed
+        attempt inherits our progress, then drop the run — bounding
+        duplicate execution to one lease window.
+        """
+        timeout = self.service.config.lease_timeout
+        expired = [h for h in list(self.running.values()) + self.queue
+                   if now - h.last_lease > timeout]
+        for held in expired:
+            self.leases_expired += 1
+            if held.state == "running":
+                self._accrue(held, now)
+                if self.service.config.checkpointing:
+                    progress = held.progress(now)
+                    if progress > held.resume_from:
+                        self.service.store.put_async(
+                            checkpoint_key(held.job_id),
+                            {"progress": progress, "attempt": held.attempt},
+                            via=self.node.ident,
+                        )
+                        self.checkpoints_written += 1
+            if held.done_event is not None:
+                held.done_event.cancel()  # type: ignore[attr-defined]
+            if held.load_timeout is not None:
+                held.load_timeout.cancel()  # type: ignore[attr-defined]
+            self.running.pop(held.job_id, None)
+            if held in self.queue:
+                self.queue.remove(held)
+        if expired:
+            self._drain_queue()
+            if not self.running and not self.queue:
+                self._stop_job_timers()
+
+    def _checkpoint_tick(self) -> None:
+        if not self._up():
+            self._crash_cleanup()
+            return
+        now = self.node.sim.now
+        for held in self.running.values():
+            if held.state != "running":
+                continue
+            progress = held.progress(now)
+            if progress <= held.resume_from:
+                continue  # nothing new since the resume point
+            self.service.store.put_async(
+                checkpoint_key(held.job_id),
+                {"progress": progress, "attempt": held.attempt},
+                via=self.node.ident,
+            )
+            self.checkpoints_written += 1
+
+    # -------------------------------------------------------- work stealing
+    def _steal_tick(self) -> None:
+        if not self._up():
+            self._crash_cleanup()
+            return
+        if not self.service.has_active_jobs():
+            return
+        if self.queue:
+            return  # we are loaded ourselves
+        free = self.free_cpu()
+        if free <= 0:
+            return
+        cap = self.node.capacity
+        probe = JobStealRequest(self.node.ident, free, cap.cpu,
+                                cap.memory_gb, cap.bandwidth_mbps)
+        # Probe the cell: ID-adjacent siblings on the level-0 bus plus our
+        # parents — the high-capacity peers placement packs first, whose
+        # queues the under-loaded cell members drain.
+        targets = set(self.node.table.level0)
+        targets.update(self.node.table.parents.values())
+        targets.discard(self.node.ident)
+        for peer in targets:
+            self.node.send(peer, probe)
+
+    def _on_steal_request(self, src: int, msg: JobStealRequest) -> None:
+        if not self.queue:
+            return
+        for i, held in enumerate(self.queue):
+            if held.cpu_demand > msg.free_cpu:
+                continue
+            if (msg.cpu < held.min_cpu or msg.memory_gb < held.min_memory_gb
+                    or msg.bandwidth_mbps < held.min_bandwidth_mbps):
+                continue
+            self.queue.pop(i)
+            self.stolen_from += 1
+            self.node.send(msg.thief, JobStealGrant(
+                held.job_id, self.node.ident, held.scheduler, held.attempt,
+                cpu_demand=held.cpu_demand, work=held.work,
+                min_cpu=held.min_cpu, min_memory_gb=held.min_memory_gb,
+                min_bandwidth_mbps=held.min_bandwidth_mbps,
+                resume=held.resume))
+            return
+
+    def _on_steal_grant(self, src: int, msg: JobStealGrant) -> None:
+        if msg.job_id in self.running or any(
+                h.job_id == msg.job_id for h in self.queue):
+            return
+        held = HeldJob(
+            job_id=msg.job_id, cpu_demand=msg.cpu_demand, work=msg.work,
+            attempt=msg.attempt, scheduler=msg.scheduler, resume=msg.resume,
+            min_cpu=msg.min_cpu, min_memory_gb=msg.min_memory_gb,
+            min_bandwidth_mbps=msg.min_bandwidth_mbps,
+            last_lease=self.node.sim.now,
+        )
+        self.steals_done += 1
+        # Tell the scheduler immediately so the job is re-owned before the
+        # victim's silence could be mistaken for a failure.
+        self.node.send(msg.scheduler, JobHeartbeat(
+            held.job_id, self.node.ident, held.attempt,
+            progress=0.0, queued=self.free_cpu() < held.cpu_demand))
+        if self.free_cpu() < held.cpu_demand:
+            self.queue.append(held)
+            self._ensure_timers()
+        else:
+            self._start(held)

@@ -45,6 +45,15 @@ class NodeCapacity:
                 raise ValueError(f"{name} must be in [0, 1], got {v}")
 
     # ------------------------------------------------------------- scoring
+    @property
+    def effective_cpu(self) -> float:
+        """CPU shares actually available: capacity minus current load.
+
+        The one definition the load balancer, scheduler matchmaker and
+        workers all size assignments against.
+        """
+        return self.cpu * (1.0 - self.cpu_load)
+
     def score(self) -> float:
         """Scalar capacity in ``(0, +inf)``; higher is better.
 

@@ -6,6 +6,7 @@ benches and tests can assert on one consistent shape.
 
 from repro.metrics.durability import DurabilityTracker, ReplicationSample
 from repro.metrics.histogram import HopHistogram
+from repro.metrics.scheduling import SchedulingStats
 from repro.metrics.series import Series
 from repro.metrics.stats import LookupBatchStats, summarize_batch
 
@@ -14,6 +15,7 @@ __all__ = [
     "HopHistogram",
     "LookupBatchStats",
     "ReplicationSample",
+    "SchedulingStats",
     "Series",
     "summarize_batch",
 ]

@@ -10,7 +10,11 @@ it lands on a leaf-level peer — the tree analogue of least-loaded-of-``d``
 placement.
 
 Load is tracked as CPU-share units against each node's ``cpu`` capability;
-the balancer keeps subtree totals so each routing decision is O(children).
+the balancer keeps **cached** subtree totals, incrementally updated on
+assign/release along the node's ancestor chain, so each routing decision is
+O(children + height) — independent of subtree size.  Liveness changes
+(failures, joins) invalidate the cache; it is rebuilt lazily on the next
+placement (or eagerly via :meth:`LoadBalancer.refresh`).
 """
 
 from __future__ import annotations
@@ -52,22 +56,90 @@ class LoadBalancer:
         #: CPU-share units currently assigned per node.
         self.assigned: Dict[int, float] = {i: 0.0 for i in net.ids}
         self.placements: List[Placement] = []
+        #: Cached subtree headroom, keyed by node id (the subtree rooted at
+        #: the node's own max level — the only shape placement queries).
+        self._subtree: Dict[int, float] = {}
+        #: Per-node ancestor chain whose cached totals contain the node.
+        self._chains: Dict[int, Tuple[int, ...]] = {}
+        self._liveness_key: Tuple[int, int] = (-1, -1)
+        self.refresh()
 
     # ------------------------------------------------------------- capacity
     def headroom(self, ident: int) -> float:
         """Remaining CPU capacity of one node (>= 0)."""
         cap = self.net.capacities[ident]
-        return max(0.0, cap.cpu * (1.0 - cap.cpu_load) - self.assigned[ident])
+        return max(0.0, cap.effective_cpu - self.assigned[ident])
 
-    def _subtree_headroom(self, node_id: int, lvl: int) -> float:
+    def _recompute_subtree(self, node_id: int, lvl: int) -> float:
+        """Reference recursion (O(subtree)); the cache must always agree."""
         layout = self.net.layout
         assert layout is not None
         total = self.headroom(node_id) if self.net.network.is_up(node_id) else 0.0
         if lvl == 0:
             return total
         for c in layout.children.get((node_id, lvl), ()):
-            total += self._subtree_headroom(c, lvl - 1 if lvl > 1 else 0)
+            total += self._recompute_subtree(c, lvl - 1 if lvl > 1 else 0)
         return total
+
+    def _current_liveness_key(self) -> Tuple[int, int]:
+        # The epoch counts every individual crash/revival, so an equal
+        # number of failures and rejoins between placements cannot alias.
+        return (len(self.net.nodes), self.net.network.liveness_epoch)
+
+    def refresh(self) -> None:
+        """Rebuild the cached subtree totals (after failures or joins).
+
+        One bottom-up pass over the layout — children always sit one level
+        below their parent, so processing nodes in increasing max-level
+        order sees every child total before its parent needs it.
+        """
+        layout = self.net.layout
+        assert layout is not None
+        for i in self.net.ids:
+            self.assigned.setdefault(i, 0.0)
+        up = self.net.network.is_up
+        self._subtree = {}
+        for i in sorted(layout.max_level, key=layout.max_level.__getitem__):
+            lvl = layout.max_level[i]
+            total = self.headroom(i) if up(i) else 0.0
+            if lvl > 0:
+                for c in layout.children.get((i, lvl), ()):
+                    total += self._subtree.get(c, 0.0)
+            self._subtree[i] = total
+        self._chains = {}
+        for i in layout.max_level:
+            chain = [i]
+            cur = i
+            while True:
+                p = layout.parent.get(cur)
+                if (p is None or p == cur or p not in layout.max_level
+                        or layout.max_level[p] != layout.max_level[cur] + 1):
+                    # A parent whose own level sits higher than cur+1 folds
+                    # only its top-level cell: cur's total is invisible to
+                    # it (matching the reference recursion).
+                    break
+                chain.append(p)
+                cur = p
+            self._chains[i] = tuple(chain)
+        self._liveness_key = self._current_liveness_key()
+
+    def _sync_cache(self) -> None:
+        if self._current_liveness_key() != self._liveness_key:
+            self.refresh()
+
+    def _shift(self, node: int, old_headroom: float) -> None:
+        """Propagate one node's headroom change up its ancestor chain."""
+        delta = self.headroom(node) - old_headroom
+        if delta == 0.0 or not self.net.network.is_up(node):
+            return
+        for a in self._chains.get(node, (node,)):
+            if a in self._subtree:
+                self._subtree[a] += delta
+
+    def _assign(self, node: int, demand: float) -> None:
+        old = self.headroom(node)
+        self.assigned[node] += demand
+        self._shift(node, old)
 
     # ------------------------------------------------------------ placement
     def place(self, task: Task, origin: Optional[int] = None) -> Placement:
@@ -75,6 +147,7 @@ class LoadBalancer:
         net = self.net
         layout = net.layout
         assert layout is not None
+        self._sync_cache()
         hops = 0
 
         if origin is None:
@@ -92,7 +165,7 @@ class LoadBalancer:
                 candidates.append((self.headroom(cur), cur, -1))
             if lvl > 0:
                 for c in layout.children.get((cur, lvl), ()):
-                    h = self._subtree_headroom(c, lvl - 1 if lvl > 1 else 0)
+                    h = self._subtree.get(c, 0.0)
                     if h >= task.cpu_demand:
                         candidates.append((h, c, lvl - 1))
             if not candidates:
@@ -103,7 +176,7 @@ class LoadBalancer:
             best_h, best_id, best_lvl = candidates[0]
             if best_lvl == -1 or best_id == cur:
                 # The current node itself wins: place here.
-                self.assigned[best_id] += task.cpu_demand
+                self._assign(best_id, task.cpu_demand)
                 placement = Placement(task=task, node=best_id, hops=hops)
                 self.placements.append(placement)
                 return placement
@@ -111,7 +184,7 @@ class LoadBalancer:
             cur, lvl = best_id, best_lvl
             if lvl == 0:
                 if net.network.is_up(cur) and self.headroom(cur) >= task.cpu_demand:
-                    self.assigned[cur] += task.cpu_demand
+                    self._assign(cur, task.cpu_demand)
                     placement = Placement(task=task, node=cur, hops=hops)
                     self.placements.append(placement)
                     return placement
@@ -124,7 +197,10 @@ class LoadBalancer:
 
     def release(self, task: Task, node: int) -> None:
         """Return a finished task's share to its node."""
+        self._sync_cache()
+        old = self.headroom(node)
         self.assigned[node] = max(0.0, self.assigned[node] - task.cpu_demand)
+        self._shift(node, old)
 
     # -------------------------------------------------------------- metrics
     def utilisation(self) -> Dict[int, float]:
@@ -133,8 +209,7 @@ class LoadBalancer:
         for i in self.net.ids:
             if not self.net.network.is_up(i):
                 continue
-            cap = self.net.capacities[i]
-            eff = cap.cpu * (1.0 - cap.cpu_load)
+            eff = self.net.capacities[i].effective_cpu
             out[i] = self.assigned[i] / eff if eff > 0 else 0.0
         return out
 

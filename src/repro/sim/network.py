@@ -119,6 +119,10 @@ class Network:
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self._procs: Dict[int, Process] = {}
         self._down: Set[int] = set()
+        #: Monotonic count of liveness transitions (registrations, crashes,
+        #: revivals) — a cheap exact invalidation key for caches derived
+        #: from the live population (see LoadBalancer).
+        self.liveness_epoch: int = 0
         self.stats = NetworkStats()
         #: Optional predicate; return True to block delivery (partitions).
         self.partition_filter: Optional[Callable[[int, int], bool]] = None
@@ -154,11 +158,14 @@ class Network:
     # -------------------------------------------------------------- up/down
     def set_down(self, address: int) -> None:
         """Crash-stop *address*: it silently drops all traffic."""
-        if address in self._procs:
+        if address in self._procs and address not in self._down:
             self._down.add(address)
+            self.liveness_epoch += 1
 
     def set_up(self, address: int) -> None:
-        self._down.discard(address)
+        if address in self._down:
+            self._down.discard(address)
+            self.liveness_epoch += 1
 
     def is_up(self, address: int) -> bool:
         return address in self._procs and address not in self._down

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.lookup import greedy_key_next_hop
 from repro.core.messages import (
@@ -164,6 +164,12 @@ class StorageAgent:
         #: Request ids the client stopped waiting for (late results dropped;
         #: insertion-ordered so the network pump can cap it).
         self.abandoned: Dict[int, None] = {}
+        #: In-sim async clients: ``callbacks[rid]`` is invoked (once) with
+        #: the :class:`StorePutResult` / :class:`StoreGetResult` instead of
+        #: parking it in :attr:`replies`.  This is how services layered on
+        #: the storage (the compute subsystem's checkpointing) issue quorum
+        #: ops without pumping the simulator.
+        self.callbacks: Dict[int, Callable[[Any], None]] = {}
         for msg_type, handler in (
             (StorePut, self.handle_put),
             (StoreGet, self.handle_get),
@@ -371,6 +377,10 @@ class StorageAgent:
 
     # ----------------------------------------------------------- client sink
     def _on_result(self, src: int, msg) -> None:
+        cb = self.callbacks.pop(msg.request_id, None)
+        if cb is not None:
+            cb(msg)
+            return
         if self.abandoned.pop(msg.request_id, 0) is None:
             return  # the client gave up on this request long ago
         self.replies[msg.request_id] = msg
@@ -463,6 +473,61 @@ class ReplicatedStore:
         return StoreResult(key=key, key_id=key_id, ok=reply.found,
                            value=reply.value, version=reply.version,
                            quorum_met=reply.quorum_met, hops=reply.hops)
+
+    # ------------------------------------------------------------ async API
+    def _async_rid(self, agent: StorageAgent, on_done) -> int:
+        """Allocate a request id wired for asynchronous completion."""
+        rid = next(self._rid)
+        if on_done is not None:
+            agent.callbacks[rid] = on_done
+            # Same cap as the abandoned sink: a result that never arrives
+            # (its coordinator died) must not pin its closure forever.
+            while len(agent.callbacks) > self.net.ABANDONED_CAP:
+                agent.callbacks.pop(next(iter(agent.callbacks)))
+        else:
+            # Fire-and-forget: pre-abandon so the eventual result is
+            # discarded instead of accreting in the reply sink.
+            agent.abandoned[rid] = None
+            while len(agent.abandoned) > self.net.ABANDONED_CAP:
+                agent.abandoned.pop(next(iter(agent.abandoned)))
+        return rid
+
+    def put_async(
+        self,
+        key: str,
+        value: Any,
+        via: Optional[int] = None,
+        on_done: Optional[Callable[[Any], None]] = None,
+    ) -> int:
+        """Issue a quorum write without pumping the simulator.
+
+        For protocol code running *inside* the sim (timers, handlers): the
+        write proceeds as real datagram traffic and *on_done*, when given,
+        is invoked with the :class:`~repro.core.messages.StorePutResult`
+        when the coordinator answers.  Returns the request id.  Unlike
+        :meth:`put`, the key is not added to the durability-tracked set —
+        callers that want anti-entropy accounting should use :meth:`put`.
+        """
+        node = self.net.live_origin(via)
+        agent = self.agents[node.ident]
+        rid = self._async_rid(agent, on_done)
+        agent.handle_put(node.ident, StorePut(rid, node.ident, self.key_id(key), value, 0))
+        return rid
+
+    def get_async(
+        self,
+        key: str,
+        via: Optional[int] = None,
+        on_done: Optional[Callable[[Any], None]] = None,
+    ) -> int:
+        """Issue a quorum read without pumping the simulator (see
+        :meth:`put_async`); *on_done* receives the
+        :class:`~repro.core.messages.StoreGetResult`."""
+        node = self.net.live_origin(via)
+        agent = self.agents[node.ident]
+        rid = self._async_rid(agent, on_done)
+        agent.handle_get(node.ident, StoreGet(rid, node.ident, self.key_id(key), 0))
+        return rid
 
     # ---------------------------------------------------------- diagnostics
     def replica_map(self, live_only: bool = True) -> Dict[int, List[int]]:

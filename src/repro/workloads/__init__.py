@@ -1,11 +1,12 @@
 """Workload generators: lookup traffic, churn schedules, capacity mixes,
-mixed read/write storage streams."""
+mixed read/write storage streams, grid job arrivals and DAG batches."""
 
 from repro.workloads.capacities import (
     grid_cluster_mix,
     homogeneous_mix,
     measured_p2p_mix,
 )
+from repro.workloads.jobs import JobWorkload
 from repro.workloads.lookups import LookupWorkload
 from repro.workloads.churn import ChurnSchedule
 from repro.workloads.storage import (
@@ -17,6 +18,7 @@ from repro.workloads.storage import (
 
 __all__ = [
     "ChurnSchedule",
+    "JobWorkload",
     "LookupWorkload",
     "StorageOp",
     "StorageRunStats",

@@ -1,0 +1,298 @@
+"""End-to-end tests of the grid job-execution subsystem: dispatch,
+heartbeat-loss re-placement, checkpoint resume, DAG ordering, work
+stealing, and scheduler failover."""
+
+import pytest
+
+from repro import (
+    ComputeConfig,
+    JobScheduler,
+    JobSpec,
+    QuorumConfig,
+    ReplicatedStore,
+    TreePConfig,
+    TreePNetwork,
+)
+from repro.compute.job import JobState, checkpoint_key
+from repro.core.repair import FULL_POLICY, apply_failure_step
+from repro.services.discovery import Constraint
+
+
+def make_grid(n=48, seed=7, **cfg_kwargs):
+    net = TreePNetwork(config=TreePConfig.paper_case1(), seed=seed)
+    net.build(n)
+    grid = JobScheduler(net, config=ComputeConfig(**cfg_kwargs))
+    return net, grid
+
+
+def kill(net, grid, victims):
+    net.fail_nodes(victims)
+    apply_failure_step(net, victims, FULL_POLICY)
+    grid.directory.refresh()
+
+
+# ----------------------------------------------------------------- basics
+def test_submit_dispatch_complete():
+    net, grid = make_grid()
+    for i in range(5):
+        grid.submit(JobSpec(job_id=i + 1, cpu_demand=1.0, work=8.0))
+    assert grid.run_until_done(timeout=200.0)
+    assert len(grid.results) == 5
+    assert all(r.ok and r.attempts == 1 for r in grid.results.values())
+    core = grid.scheduler_core()
+    assert all(r.state is JobState.DONE for r in core.records.values())
+    stats = grid.stats()
+    assert stats.completion_rate == 1.0
+    assert stats.useful_work == pytest.approx(40.0)
+    assert stats.executed_work == pytest.approx(40.0, abs=1.0)
+    assert stats.wasted_work == pytest.approx(0.0, abs=1.0)
+    assert stats.makespan > 0
+
+
+def test_submission_is_routed_protocol_traffic():
+    """Submissions travel as Job* datagrams, not oracle calls."""
+    net, grid = make_grid()
+    # Submit from the peer furthest (in table terms) from the scheduler.
+    via = next(i for i in net.ids
+               if i != grid.scheduler_ident and net.network.is_up(i))
+    grid.submit(JobSpec(job_id=1, work=5.0), via=via)
+    assert grid.run_until_done(timeout=120.0)
+    by_type = net.network.stats.by_type
+    for name in ("JobSubmit", "JobAck", "JobDispatch", "JobAccepted",
+                 "JobHeartbeat", "JobComplete", "JobReport"):
+        assert by_type.get(name, 0) >= 1, f"no {name} on the wire"
+    assert grid.client[1].acked
+
+
+def test_constraint_matchmaking_respects_capabilities():
+    net, grid = make_grid()
+    c = Constraint(min_cpu=4.0, min_memory_gb=2.0)
+    grid.submit(JobSpec(job_id=1, cpu_demand=2.0, work=6.0, constraint=c))
+    assert grid.run_until_done(timeout=200.0)
+    worker = grid.results[1].worker
+    assert grid.results[1].ok
+    assert c.admits(net.capacities[worker])
+
+
+def test_unsatisfiable_constraint_fails_cleanly():
+    net, grid = make_grid(max_attempts=3, monitor_interval=2.0)
+    grid.submit(JobSpec(job_id=1, work=5.0,
+                        constraint=Constraint(min_cpu=10_000.0)))
+    assert grid.run_until_done(timeout=300.0)
+    assert not grid.results[1].ok
+    assert grid.stats().failed == 1
+
+
+# -------------------------------------------------------------------- DAG
+def test_dag_ordering_enforced():
+    net, grid = make_grid()
+    grid.submit(JobSpec(job_id=1, work=10.0))
+    grid.submit(JobSpec(job_id=2, work=6.0, deps=(1,)))
+    grid.submit(JobSpec(job_id=3, work=4.0, deps=(2,)))
+    assert grid.run_until_done(timeout=400.0)
+    r1, r2, r3 = (grid.results[i] for i in (1, 2, 3))
+    assert r1.ok and r2.ok and r3.ok
+    # A dependent cannot finish before its dependency's completion plus
+    # its own work (it was only dispatched after the JobComplete).
+    assert r2.completed_at >= r1.completed_at + 6.0 - 1.0
+    assert r3.completed_at >= r2.completed_at + 4.0 - 1.0
+
+
+def test_failed_dependency_cascades_to_dependents():
+    net, grid = make_grid(max_attempts=3, monitor_interval=2.0)
+    grid.submit(JobSpec(job_id=1, work=5.0,
+                        constraint=Constraint(min_cpu=10_000.0)))
+    grid.submit(JobSpec(job_id=2, work=5.0, deps=(1,)))
+    assert grid.run_until_done(timeout=400.0)
+    assert not grid.results[1].ok
+    assert not grid.results[2].ok  # the dependent fails too, not waits
+
+
+def test_dag_fan_in_waits_for_all_parents():
+    net, grid = make_grid()
+    grid.submit(JobSpec(job_id=1, work=5.0))
+    grid.submit(JobSpec(job_id=2, work=25.0))
+    grid.submit(JobSpec(job_id=3, work=3.0, deps=(1, 2)))
+    assert grid.run_until_done(timeout=400.0)
+    slowest = max(grid.results[1].completed_at, grid.results[2].completed_at)
+    assert grid.results[3].completed_at >= slowest + 3.0 - 1.0
+
+
+# -------------------------------------------------- failure and recovery
+def test_heartbeat_loss_triggers_replacement():
+    net, grid = make_grid(checkpoint_interval=None)  # restart ablation
+    grid.submit(JobSpec(job_id=1, cpu_demand=1.0, work=60.0))
+    net.sim.run_for(15.0)
+    core = grid.scheduler_core()
+    worker = core.records[1].worker
+    assert worker is not None and worker != grid.scheduler_ident
+    kill(net, grid, [worker])
+    assert grid.run_until_done(timeout=600.0)
+    assert grid.results[1].ok
+    assert grid.results[1].worker != worker
+    assert grid.results[1].attempts >= 2
+    assert grid.stats().reexecutions >= 1
+
+
+def test_checkpoint_resume_after_worker_death():
+    net, grid = make_grid(checkpoint_interval=4.0)
+    grid.submit(JobSpec(job_id=1, cpu_demand=1.0, work=80.0))
+    net.sim.run_for(20.0)
+    core = grid.scheduler_core()
+    first_worker = core.records[1].worker
+    assert first_worker is not None
+    if first_worker == grid.scheduler_ident:
+        pytest.skip("job landed on the scheduler host for this seed")
+    kill(net, grid, [first_worker])
+
+    # Step until the re-placed attempt is running, then inspect its agent.
+    resumed_from = None
+    for _ in range(120):
+        net.sim.run_for(1.0)
+        for ident, agent in grid.agents.items():
+            held = agent.running.get(1)
+            if (ident != first_worker and held is not None
+                    and held.state == "running"):
+                resumed_from = held.resume_from
+                break
+        if resumed_from is not None:
+            break
+    assert resumed_from is not None, "job was never re-placed"
+    assert resumed_from > 0.0, "resume did not read the checkpoint"
+    assert grid.run_until_done(timeout=800.0)
+    assert grid.results[1].ok
+    # Strictly less total execution than a from-scratch re-run.
+    assert grid.stats().executed_work < 80.0 + resumed_from + 1.0
+
+
+def test_checkpoint_ablation_wastes_more_work():
+    """Same seed, checkpointing on vs off: both complete, restart wastes
+    strictly more executed work."""
+    wasted = {}
+    for ckpt in (4.0, None):
+        net, grid = make_grid(seed=19, checkpoint_interval=ckpt)
+        grid.submit(JobSpec(job_id=1, cpu_demand=1.0, work=90.0))
+        net.sim.run_for(25.0)
+        worker = grid.scheduler_core().records[1].worker
+        if worker == grid.scheduler_ident:  # pragma: no cover - seed guard
+            pytest.skip("job landed on the scheduler host for this seed")
+        kill(net, grid, [worker])
+        assert grid.run_until_done(timeout=800.0)
+        assert grid.results[1].ok
+        wasted[ckpt] = grid.stats().wasted_work
+    assert wasted[4.0] < wasted[None]
+
+
+def test_scheduler_failover_resumes_jobs():
+    net, grid = make_grid(n=64, seed=5, checkpoint_interval=5.0)
+    for i in range(8):
+        grid.submit(JobSpec(job_id=i + 1, cpu_demand=1.0, work=60.0))
+    net.sim.run_for(20.0)
+    old = grid.scheduler_ident
+    kill(net, grid, [old])
+    assert grid.ensure_scheduler()
+    assert grid.scheduler_ident != old
+    assert grid.run_until_done(timeout=1000.0)
+    assert all(r.ok for r in grid.results.values())
+    stats = grid.stats()
+    assert stats.completion_rate == 1.0
+    assert stats.failovers == 1
+
+
+def test_ensure_scheduler_is_noop_while_alive():
+    net, grid = make_grid()
+    assert not grid.ensure_scheduler()
+    assert grid.failovers == 0
+
+
+def test_orphaned_attempt_fences_itself_off():
+    """A worker whose scheduler died abandons the run once its lease
+    lapses (after a final checkpoint) instead of computing forever."""
+    net, grid = make_grid(n=64, seed=5, checkpoint_interval=5.0,
+                          lease_timeout=12.0)
+    for i in range(4):
+        grid.submit(JobSpec(job_id=i + 1, cpu_demand=1.0, work=500.0))
+    net.sim.run_for(10.0)
+    old = grid.scheduler_ident
+    records = grid.scheduler_core().records
+    orphans = {jid: r.worker for jid, r in records.items()
+               if r.worker is not None and r.worker != old}
+    assert orphans, "every job landed on the scheduler host"
+    kill(net, grid, [old])
+    # No failover: the orphaned workers must stop on their own.
+    net.sim.run_for(40.0)
+    for jid, worker in orphans.items():
+        assert jid not in grid.agents[worker].running
+        assert grid.agents[worker].leases_expired >= 1
+
+
+# ----------------------------------------------------------- work stealing
+def test_work_stealing_drains_saturated_queues():
+    net, grid = make_grid(n=64, seed=5, steal_interval=4.0)
+    # Oversubscribe the grid so placement must queue jobs on busy peers.
+    for i in range(40):
+        grid.submit(JobSpec(job_id=i + 1, cpu_demand=2.0, work=60.0))
+    assert grid.run_until_done(timeout=2000.0)
+    assert all(r.ok for r in grid.results.values())
+    stats = grid.stats()
+    assert stats.steals >= 1, "saturation never triggered a steal"
+    assert stats.steal_reassignments >= 1  # the scheduler re-owned them
+
+
+def test_stealing_disabled_still_completes():
+    net, grid = make_grid(n=64, seed=5, steal_interval=None)
+    for i in range(10):
+        grid.submit(JobSpec(job_id=i + 1, cpu_demand=1.0, work=30.0))
+    assert grid.run_until_done(timeout=1500.0)
+    assert all(r.ok for r in grid.results.values())
+    assert grid.stats().steals == 0
+
+
+def test_lossy_network_still_completes_every_job():
+    """Datagram loss drops submissions, dispatches and heartbeats; the
+    client retry + monitor re-place machinery must still land every job."""
+    net = TreePNetwork(config=TreePConfig.paper_case1(), seed=7, loss=0.15)
+    net.build(48)
+    grid = JobScheduler(net, config=ComputeConfig())
+    for i in range(6):
+        grid.submit(JobSpec(job_id=i + 1, work=10.0))
+    assert grid.run_until_done(timeout=800.0)
+    assert all(r.ok for r in grid.results.values())
+
+
+# -------------------------------------------------------------- lifecycle
+def test_close_stops_all_timers():
+    net, grid = make_grid()
+    grid.submit(JobSpec(job_id=1, work=5.0))
+    assert grid.run_until_done(timeout=120.0)
+    grid.close()
+    assert net.sim.drain() >= 0  # terminates: no timer re-arms itself
+
+
+def test_duplicate_submit_rejected():
+    net, grid = make_grid()
+    grid.submit(JobSpec(job_id=1, work=5.0))
+    with pytest.raises(ValueError):
+        grid.submit(JobSpec(job_id=1, work=5.0))
+
+
+def test_scheduled_submissions_fire_at_arrival_times():
+    net, grid = make_grid()
+    specs = [JobSpec(job_id=i + 1, work=4.0, submit_at=5.0 * i)
+             for i in range(3)]
+    grid.schedule_submissions(specs)
+    assert set(grid.pending_jobs()) == {1, 2, 3}
+    assert grid.run_until_done(timeout=300.0)
+    subs = sorted(grid.results[i].submitted_at for i in (1, 2, 3))
+    assert subs[1] >= subs[0] + 5.0 - 1e-9
+    assert subs[2] >= subs[1] + 5.0 - 1e-9
+
+
+def test_checkpoints_are_quorum_stored():
+    net, grid = make_grid(checkpoint_interval=3.0)
+    grid.submit(JobSpec(job_id=1, cpu_demand=1.0, work=20.0))
+    net.sim.run_for(10.0)
+    assert sum(a.checkpoints_written for a in grid.agents.values()) >= 1
+    res = grid.store.get(checkpoint_key(1))
+    assert res.found and res.value["progress"] > 0.0
+    assert grid.run_until_done(timeout=300.0)

@@ -100,6 +100,45 @@ def test_storage_messages_frozen_and_sized():
         assert m.wire_size > 0
 
 
+def test_compute_messages_frozen_and_sized():
+    from repro.core.messages import (
+        JobAccepted,
+        JobAck,
+        JobComplete,
+        JobDispatch,
+        JobHeartbeat,
+        JobLease,
+        JobRejected,
+        JobReport,
+        JobStealGrant,
+        JobStealRequest,
+        JobSubmit,
+    )
+
+    frozen = [
+        JobSubmit(1, 2, 3, 4), JobAck(1, 3, 4), JobReport(1, 3, True),
+    ]
+    for m in frozen:
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            m.request_id = 9  # type: ignore[misc]
+        assert m.wire_size > 0
+    for m in [JobDispatch(3, 4, 1), JobAccepted(3, 5, 1),
+              JobRejected(3, 5, 1), JobHeartbeat(3, 5, 1, 2.5),
+              JobComplete(3, 5, 1, 10.0), JobLease(3, 1),
+              JobStealRequest(5, 2.0), JobStealGrant(3, 5, 4, 1)]:
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            m.job_id = 9  # type: ignore[misc]
+        assert m.wire_size > 0
+
+
+def test_job_submit_size_scales_with_deps():
+    from repro.core.messages import JobSubmit
+
+    bare = JobSubmit(1, 2, 3, 4)
+    dag = JobSubmit(1, 2, 3, 4, deps=(10, 11, 12))
+    assert dag.wire_size == bare.wire_size + 3 * 8
+
+
 def test_put_ack_distinct_from_get_reply():
     """The PUT-ack/GET-reply conflation fix: separate types, separate fields."""
     from repro.core.messages import DhtPutAck, DhtValue

@@ -318,3 +318,32 @@ def test_equal_stamp_replicate_counts_as_ack():
     net.sim.drain()
     result = store.agents[c].replies.pop(rid)
     assert result.ok  # the equal-stamp ack completed the W=2 quorum
+
+
+# ----------------------------------------------------------- async client
+def test_put_async_and_get_async_deliver_via_callback(store_net):
+    """The in-sim async API: callbacks fire with the coordinator results,
+    nothing accretes in the reply sink (the compute checkpoint path)."""
+    net, store = store_net
+    seen = []
+    store.put_async("async/a", {"p": 1.0}, on_done=seen.append)
+    net.sim.run_for(5.0)
+    assert len(seen) == 1 and seen[0].ok
+
+    got = []
+    store.get_async("async/a", on_done=got.append)
+    net.sim.run_for(5.0)
+    assert len(got) == 1 and got[0].found
+    assert got[0].value == {"p": 1.0}
+
+
+def test_fire_and_forget_put_does_not_accrete_replies(store_net):
+    net, store = store_net
+    origin = net.live_origin()
+    agent = store.agents[origin.ident]
+    before = len(agent.replies)
+    for i in range(10):
+        store.put_async(f"faf/{i}", i, via=origin.ident)
+    net.sim.run_for(5.0)
+    assert len(agent.replies) == before  # results were pre-abandoned
+    assert store.get(f"faf/3").value == 3  # but the writes landed
