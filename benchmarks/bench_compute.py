@@ -21,16 +21,7 @@ import os
 
 from conftest import BENCH_SEED
 
-from repro import (
-    AntiEntropy,
-    ComputeConfig,
-    JobScheduler,
-    QuorumConfig,
-    ReplicatedStore,
-    TreePConfig,
-    TreePNetwork,
-)
-from repro.core.repair import FULL_POLICY, apply_failure_step
+from repro import Cluster, ComputeConfig, QuorumConfig, TreePConfig
 from repro.viz.ascii import table
 from repro.workloads import ChurnSchedule, JobWorkload
 from repro.workloads.churn import ChurnEvent
@@ -61,12 +52,12 @@ def burst_churn_schedule(net):
 
 def run_scenario(checkpointing: bool, seed: int = BENCH_SEED):
     """One full run; returns (all_done, SchedulingStats, alive count)."""
-    net = TreePNetwork(config=TreePConfig.paper_case1(), seed=seed)
-    net.build(N_NODES)
-    store = ReplicatedStore(net, QuorumConfig(n=3, w=2, r=2))
-    ae = AntiEntropy(store, interval=10.0)
-    grid = JobScheduler(net, store=store, config=ComputeConfig(
-        checkpoint_interval=8.0 if checkpointing else None))
+    cluster = (Cluster(config=TreePConfig.paper_case1(), seed=seed)
+               .build(N_NODES)
+               .with_storage(QuorumConfig(n=3, w=2, r=2), anti_entropy=10.0)
+               .with_compute(ComputeConfig(
+                   checkpoint_interval=8.0 if checkpointing else None)))
+    net, grid, ae = cluster.net, cluster.compute, cluster.anti_entropy
 
     wl = JobWorkload(rng=net.rng.get("bench-compute-jobs"),
                      arrival_rate=1.0, work_mean=150.0, work_sigma=0.4,
@@ -76,6 +67,8 @@ def run_scenario(checkpointing: bool, seed: int = BENCH_SEED):
 
     # Replay the churn schedule burst by burst, healing in between —
     # exactly the storage bench's driver shape, plus scheduler failover.
+    # (Aggregate refresh is owned by the directory service: the leave
+    # callbacks mark it stale and the next matchmaking query resyncs.)
     pending = list(burst_churn_schedule(net))
     while pending:
         t = pending[0].time
@@ -84,16 +77,15 @@ def run_scenario(checkpointing: bool, seed: int = BENCH_SEED):
         if net.sim.now < t:
             net.sim.run(until=t)
         victims = [e.node for e in burst if e.kind == "leave"]
-        net.fail_nodes(victims)
-        apply_failure_step(net, victims, FULL_POLICY)
-        grid.directory.refresh()
+        cluster.fail_nodes(victims, heal=True)
         ae.converge()
         grid.ensure_scheduler()
 
     done = grid.run_until_done(timeout=DEADLINE)
     stats = grid.stats()
-    grid.close()
-    return done, stats, len(net.alive_ids())
+    alive = len(net.alive_ids())
+    cluster.shutdown()
+    return done, stats, alive
 
 
 def test_compute_under_30pct_burst_churn(benchmark):
@@ -142,9 +134,9 @@ def test_compute_under_30pct_burst_churn(benchmark):
 
 def test_steady_state_throughput(benchmark):
     """No churn: dispatch → heartbeat → complete cost for a job batch."""
-    net = TreePNetwork(config=TreePConfig.paper_case1(), seed=BENCH_SEED + 7)
-    net.build(N_NODES)
-    grid = JobScheduler(net)
+    cluster = (Cluster(config=TreePConfig.paper_case1(), seed=BENCH_SEED + 7)
+               .build(N_NODES).with_compute())
+    net, grid = cluster.net, cluster.compute
     wl = JobWorkload(rng=net.rng.get("bench-steady"), arrival_rate=2.0,
                      work_mean=15.0, constrained_fraction=0.0)
 
@@ -156,7 +148,7 @@ def test_steady_state_throughput(benchmark):
 
     benchmark.pedantic(run_batch, rounds=2, iterations=1)
     stats = grid.stats()
-    grid.close()
+    cluster.shutdown()
     print()
     print(table(["metric", "value"], stats.summary_rows(),
                 title=f"steady-state scheduling (n={N_NODES})"))

@@ -10,27 +10,36 @@ Engineering numbers for the storage subsystem (not a paper figure):
   churn schedule kills 30% of the population in bursts; with N=3, W=2, R=2
   and anti-entropy between bursts the store must keep 100% of its keys
   quorum-readable.
+
+Everything is wired through the 1.3.0 `Cluster` facade (build → storage →
+anti-entropy); the metrics are the subsystem's acceptance record and must
+stay no worse than their pre-facade values.
 """
 
 import numpy as np
 from conftest import BENCH_SEED
 
-from repro import TreePConfig, TreePNetwork
-from repro.core.repair import FULL_POLICY, apply_failure_step
-from repro.storage import AntiEntropy, QuorumConfig, ReplicatedStore
+from repro import Cluster, QuorumConfig, TreePConfig
 from repro.viz.ascii import table
 
 STORE_N = 256  # population: storage ops drain the sim per request
 N_KEYS = 120
 
 
-def _loaded_store(seed=BENCH_SEED, n=STORE_N, quorum=None):
-    net = TreePNetwork(config=TreePConfig.paper_case1(), seed=seed)
-    net.build(n)
-    store = ReplicatedStore(net, quorum or QuorumConfig(n=3, w=2, r=2))
+def _loaded_cluster(seed=BENCH_SEED, n=STORE_N, quorum=None, anti_entropy=30.0):
+    cluster = (Cluster(config=TreePConfig.paper_case1(), seed=seed)
+               .build(n)
+               .with_storage(quorum or QuorumConfig(n=3, w=2, r=2),
+                             anti_entropy=anti_entropy))
+    store = cluster.storage
     for i in range(N_KEYS):
         assert store.put(f"bench/{i:04d}", {"i": i}).ok
-    return net, store
+    return cluster
+
+
+def _loaded_store(seed=BENCH_SEED, n=STORE_N, quorum=None):
+    cluster = _loaded_cluster(seed=seed, n=n, quorum=quorum)
+    return cluster.net, cluster.storage
 
 
 def test_quorum_put_throughput(benchmark):
@@ -63,12 +72,11 @@ def test_quorum_get_throughput(benchmark):
 
 def test_antientropy_sweep_cost(benchmark):
     """Cost of detect+repair after 20% of the population dies at once."""
-    net, store = _loaded_store()
-    ae = AntiEntropy(store, interval=30.0)
+    cluster = _loaded_cluster()
+    net, store, ae = cluster.net, cluster.storage, cluster.anti_entropy
     rng = np.random.default_rng(1)
     victims = [int(v) for v in rng.choice(net.ids, STORE_N // 5, replace=False)]
-    net.fail_nodes(victims)
-    apply_failure_step(net, victims, FULL_POLICY)
+    cluster.fail_nodes(victims, heal=True)
     net.network.reset_stats()
 
     first = {}
@@ -103,8 +111,8 @@ def test_durability_under_30pct_churn(benchmark):
     then every key must still be quorum-readable (N=3, W=2, R=2)."""
 
     def run_scenario():
-        net, store = _loaded_store(seed=BENCH_SEED + 1)
-        ae = AntiEntropy(store, interval=10.0)
+        cluster = _loaded_cluster(seed=BENCH_SEED + 1, anti_entropy=10.0)
+        net, store, ae = cluster.net, cluster.storage, cluster.anti_entropy
         rng = net.rng.get("bench-churn")
         order = [int(v) for v in rng.permutation(net.ids)]
         total, burst = int(0.30 * STORE_N), STORE_N // 20
@@ -112,8 +120,7 @@ def test_durability_under_30pct_churn(benchmark):
         while killed < total:
             step = order[killed:killed + min(burst, total - killed)]
             killed += len(step)
-            net.fail_nodes(step)
-            apply_failure_step(net, step, FULL_POLICY)
+            cluster.fail_nodes(step, heal=True)
             ae.converge()
         alive = net.alive_ids()
         results = [store.get(f"bench/{i:04d}", via=alive[i % len(alive)])

@@ -10,15 +10,14 @@ Run:  python examples/dht_keyvalue.py
 
 import numpy as np
 
-from repro import TreePConfig, TreePNetwork
-from repro.core.repair import FULL_POLICY, apply_failure_step
-from repro.services import TreePDht
+from repro import Cluster, TreePConfig
 
 
 def main() -> None:
-    net = TreePNetwork(config=TreePConfig.paper_case1(), seed=11)
-    net.build(n=256)
-    dht = TreePDht(net, replicas=3)
+    cluster = (Cluster(config=TreePConfig.paper_case1(), seed=11)
+               .build(n=256)
+               .with_dht(replicas=3))
+    net, dht = cluster.net, cluster.dht
 
     # Store 200 job records.
     keys = [f"job/{i:04d}" for i in range(200)]
@@ -37,13 +36,14 @@ def main() -> None:
     # Kill a third of the network, heal, read again.
     rng = np.random.default_rng(5)
     victims = [int(v) for v in rng.choice(net.ids, len(net.ids) // 3, replace=False)]
-    net.fail_nodes(victims)
-    apply_failure_step(net, victims, FULL_POLICY)
+    cluster.fail_nodes(victims, heal=True)
 
-    alive = [i for i in net.ids if net.network.is_up(i)]
+    alive = cluster.alive_ids()
     hits = 0
-    for k in keys:
-        if dht.get(k, via=alive[hash(k) % len(alive)]).found:
+    for i, k in enumerate(keys):
+        # (index, not builtin hash(k): str hashes are salted per process,
+        # which broke the example's run-to-run determinism)
+        if dht.get(k, via=alive[i % len(alive)]).found:
             hits += 1
     print(f"after 33% of nodes crashed: {hits}/200 GETs still hit "
           f"(3-way level-0 replication)")

@@ -14,26 +14,16 @@ instead of restarting — so every submitted job still completes.
 Run:  python examples/grid_jobs.py
 """
 
-from repro import (
-    AntiEntropy,
-    ComputeConfig,
-    JobScheduler,
-    QuorumConfig,
-    ReplicatedStore,
-    TreePConfig,
-    TreePNetwork,
-)
-from repro.core.repair import FULL_POLICY, apply_failure_step
+from repro import Cluster, ComputeConfig, QuorumConfig, TreePConfig
 from repro.workloads import JobWorkload
 
 
 def main() -> None:
-    net = TreePNetwork(config=TreePConfig.paper_case1(), seed=42)
-    net.build(n=128)
-    store = ReplicatedStore(net, QuorumConfig(n=3, w=2, r=2))
-    ae = AntiEntropy(store, interval=10.0)
-    grid = JobScheduler(net, store=store,
-                        config=ComputeConfig(checkpoint_interval=8.0))
+    cluster = (Cluster(config=TreePConfig.paper_case1(), seed=42)
+               .build(n=128)
+               .with_storage(QuorumConfig(n=3, w=2, r=2), anti_entropy=10.0)
+               .with_compute(ComputeConfig(checkpoint_interval=8.0)))
+    net, grid, ae = cluster.net, cluster.compute, cluster.anti_entropy
 
     wl = JobWorkload(rng=net.rng.get("example-jobs"), arrival_rate=1.0,
                      work_mean=120.0, constrained_fraction=0.25)
@@ -49,14 +39,14 @@ def main() -> None:
           f"{'stolen':>7} {'failover':>9}")
     killed = 0
     while killed < total:
-        net.sim.run_for(15.0)
+        cluster.run_for(15.0)
         step = order[killed:killed + min(burst, total - killed)]
         killed += len(step)
-        net.fail_nodes(step)
-        apply_failure_step(net, step, FULL_POLICY)  # table healing
-        grid.directory.refresh()                    # fresh aggregates
-        ae.converge()                               # re-replication
-        failed_over = grid.ensure_scheduler()       # scheduler failover
+        cluster.fail_nodes(step, heal=True)    # churn callbacks + healing
+        ae.converge()                          # re-replication
+        failed_over = grid.ensure_scheduler()  # scheduler failover
+        # (no manual directory refresh: the discovery service watched the
+        # leave callbacks and resyncs its aggregates on the next query)
         s = grid.stats()
         print(f"{net.sim.now:5.0f} {100 * killed / len(net.ids):6.0f} "
               f"{s.completed:3d}/{s.submitted:<3d} {s.reexecutions:8d} "
@@ -72,6 +62,7 @@ def main() -> None:
     print("checkpoints mean re-executions resume rather than restart —")
     print(f"only {s.wasted_work:.0f}s of {s.executed_work:.0f}s executed "
           f"was wasted (goodput {s.goodput:.3f}).")
+    cluster.shutdown()
 
 
 if __name__ == "__main__":

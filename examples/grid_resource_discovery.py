@@ -16,18 +16,20 @@ Run:  python examples/grid_resource_discovery.py
 
 import numpy as np
 
-from repro import TreePConfig, TreePNetwork
-from repro.services import LoadBalancer, ResourceDirectory
+from repro import Cluster, TreePConfig
 from repro.services.discovery import Constraint
 from repro.services.loadbalance import Task
 from repro.workloads import grid_cluster_mix
 
 
 def main() -> None:
-    net = TreePNetwork(config=TreePConfig.paper_case2(), seed=77)
     rng = np.random.default_rng(77)
     caps = grid_cluster_mix(512, rng, server_fraction=0.1)
-    layout = net.build(n=512, capacities=caps)
+    cluster = (Cluster(config=TreePConfig.paper_case2(), seed=77)
+               .build(n=512, capacities=caps)
+               .with_discovery()
+               .with_loadbalance())
+    net, layout = cluster.net, cluster.layout
     print(f"built 512-peer grid, height={layout.height} (variable nc)")
 
     # Where did the servers end up?  Count >=16-core nodes per level.
@@ -36,7 +38,7 @@ def main() -> None:
         beefy = sum(1 for i in bus if net.capacities[i].cpu >= 16)
         print(f"  level {lvl}: {beefy}/{len(bus)} nodes with >= 16 cores")
 
-    directory = ResourceDirectory(net)
+    directory = cluster.directory
     queries = [
         Constraint(min_cpu=16, min_memory_gb=64),
         Constraint(min_cpu=4, min_bandwidth_mbps=100),
@@ -52,7 +54,7 @@ def main() -> None:
             assert cap.cpu >= c.min_cpu and cap.memory_gb >= c.min_memory_gb
 
     # Task placement.
-    lb = LoadBalancer(net)
+    lb = cluster.balancer
     tasks = [Task(i, cpu_demand=float(rng.choice([0.5, 1.0, 2.0]))) for i in range(400)]
     placements = lb.place_many(tasks)
     placed = [p for p in placements if p.node is not None]

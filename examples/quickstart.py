@@ -13,16 +13,19 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
-from repro import LookupAlgorithm, TreePConfig, TreePNetwork
+from repro import Cluster, LookupAlgorithm, TreePConfig
 
 
 def main() -> None:
     # 1. Configure: paper case 1 — every parent holds at most 4 children.
     config = TreePConfig.paper_case1()
-    net = TreePNetwork(config=config, seed=2005)
 
     # 2. Build 512 peers with the default heterogeneous capacity mix.
-    layout = net.build(n=512)
+    #    `Cluster` is the unified entry point; services (storage, compute,
+    #    dht, …) would chain on with `.with_storage(...)` etc. — here we
+    #    only need the raw overlay underneath (`cluster.net`).
+    cluster = Cluster(config=config, seed=2005).build(n=512)
+    net, layout = cluster.net, cluster.layout
 
     # 3. Inspect the hierarchy.
     print(f"height h = {layout.height} "

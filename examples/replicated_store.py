@@ -10,14 +10,14 @@ stays readable the whole way down.
 Run:  python examples/replicated_store.py
 """
 
-from repro import AntiEntropy, QuorumConfig, ReplicatedStore, TreePConfig, TreePNetwork
-from repro.core.repair import FULL_POLICY, apply_failure_step
+from repro import Cluster, QuorumConfig, TreePConfig
 
 
 def main() -> None:
-    net = TreePNetwork(config=TreePConfig.paper_case1(), seed=42)
-    net.build(n=256)
-    store = ReplicatedStore(net, QuorumConfig(n=3, w=2, r=2))
+    cluster = (Cluster(config=TreePConfig.paper_case1(), seed=42)
+               .build(n=256)
+               .with_storage(QuorumConfig(n=3, w=2, r=2), anti_entropy=10.0))
+    store, ae = cluster.storage, cluster.anti_entropy
 
     keys = [f"job/{i:04d}" for i in range(200)]
     for i, key in enumerate(keys):
@@ -26,10 +26,10 @@ def main() -> None:
     print(f"stored {len(keys)} keys x{store.quorum.n} replicas "
           f"(W={store.quorum.w}, R={store.quorum.r})")
 
-    ae = AntiEntropy(store, interval=10.0)
     print(f"{'dead%':>6} {'alive':>6} {'readable':>9} {'min rf':>7} "
           f"{'repairs':>8}")
 
+    net = cluster.net
     rng = net.rng.get("example")
     order = [int(v) for v in rng.permutation(net.ids)]
     total, burst = int(0.30 * len(net.ids)), max(1, len(net.ids) // 32)
@@ -37,11 +37,10 @@ def main() -> None:
     while killed < total:
         step = order[killed:killed + min(burst, total - killed)]
         killed += len(step)
-        net.fail_nodes(step)
-        apply_failure_step(net, step, FULL_POLICY)  # table healing
-        ae.converge()                               # re-replication
+        cluster.fail_nodes(step, heal=True)  # churn callbacks + table healing
+        ae.converge()                        # re-replication
         repairs = sum(r.repairs_sent for r in ae.reports)
-        alive = net.alive_ids()
+        alive = cluster.alive_ids()
         readable = sum(
             store.get(k, via=alive[i % len(alive)]).found
             for i, k in enumerate(keys)
@@ -56,6 +55,7 @@ def main() -> None:
     print("ever catches a key with fewer live copies than it can lose.")
     print("(A key is only lost if one burst kills all N of its replicas")
     print("at once — shrink bursts or raise N to push that risk down.)")
+    cluster.shutdown()
 
 
 if __name__ == "__main__":

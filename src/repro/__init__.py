@@ -3,6 +3,15 @@ Architecture* (Hudzia, Kechadi, Ottewill — CLUSTER 2005).
 
 Public surface:
 
+* :class:`~repro.cluster.Cluster` — **the recommended entry point**: one
+  fluent facade building the overlay and composing services
+  (``Cluster(seed=7).build(128).with_storage(...).with_compute(...)``)
+  with owned construction order, cross-service dependencies and clean
+  shutdown.
+* :class:`~repro.cluster.Service` — the lifecycle protocol every subsystem
+  implements (attach/detach, churn callbacks, declarative handler
+  registration, auto-cancelled periodic tasks); subclass it to plug new
+  services into the same registry.
 * :class:`~repro.core.treep.TreePNetwork` — build and drive a TreeP overlay.
 * :class:`~repro.core.config.TreePConfig` — all tunables; presets for the
   paper's two experimental cases.
@@ -27,6 +36,7 @@ paragraph"); each ``benchmarks/bench_*.py`` prints the measured-vs-paper
 record it regenerates.
 """
 
+from repro.cluster import Cluster, Service, ServiceContext, ServiceError
 from repro.compute import ComputeConfig, JobResult, JobScheduler, JobSpec
 from repro.core.capacity import CapacityDistribution, NodeCapacity
 from repro.core.config import TreePConfig
@@ -35,11 +45,12 @@ from repro.core.lookup import LookupAlgorithm, LookupResult
 from repro.core.treep import TreePNetwork
 from repro.storage import AntiEntropy, QuorumConfig, ReplicatedStore
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AntiEntropy",
     "CapacityDistribution",
+    "Cluster",
     "ComputeConfig",
     "IdSpace",
     "JobResult",
@@ -50,6 +61,9 @@ __all__ = [
     "NodeCapacity",
     "QuorumConfig",
     "ReplicatedStore",
+    "Service",
+    "ServiceContext",
+    "ServiceError",
     "TreePConfig",
     "TreePNetwork",
     "__version__",

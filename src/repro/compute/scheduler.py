@@ -27,8 +27,15 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, Set
 
+from repro.cluster.registry import attach_service
+from repro.cluster.service import (
+    Handler,
+    Service,
+    ServiceContext,
+    warn_direct_wire,
+)
 from repro.compute.job import (
     ComputeConfig,
     JobRecord,
@@ -79,10 +86,22 @@ class SchedulerCore:
         #: finished stages nor wait forever on failed ones).
         self.completed: Set[int] = set(completed or ())
         self.failed: Set[int] = set(failed or ())
-        self._timer = self.node.sim.every(
-            service.config.monitor_interval, self._monitor_tick,
-            label=f"sched-monitor:{self.node.ident}",
+        # Node-scoped periodic task: cancelled by the registry if the
+        # scheduler host departs (failover then re-creates the core, or a
+        # revival re-arms it via restart_monitor).
+        self._timer = self._arm_monitor()
+
+    def _arm_monitor(self):
+        return self.service.node_timer(
+            self.node.ident, self.service.config.monitor_interval,
+            self._monitor_tick, label=f"sched-monitor:{self.node.ident}",
         )
+
+    def restart_monitor(self) -> None:
+        """Re-arm the monitor after the host process came back up (the
+        registry cancelled the node-scoped timer at departure)."""
+        if not self._timer.running:
+            self._timer = self._arm_monitor()
 
     def stop(self) -> None:
         self._timer.stop()
@@ -312,33 +331,40 @@ class _ClientJob:
     resume: bool = False
 
 
-class JobScheduler:
+class JobScheduler(Service):
     """Grid job execution client against a built TreeP network.
 
-    >>> net = TreePNetwork(seed=7); _ = net.build(64)
-    >>> grid = JobScheduler(net)
+    >>> from repro.cluster import Cluster
+    >>> grid = Cluster(seed=7).build(64).with_compute().compute
     >>> jid = grid.submit(JobSpec(job_id=1, cpu_demand=1.0, work=5.0))
     >>> grid.run_until_done(timeout=120.0)
     True
     >>> grid.results[jid].ok
     True
+
+    As a :class:`~repro.cluster.service.Service` the facade resolves its
+    dependencies at attach time: a missing storage service (checkpoints) or
+    discovery service (matchmaking aggregates) is created and attached
+    first, and dependencies it spawned are detached with it.  The direct
+    ``JobScheduler(net, ...)`` constructor remains as a deprecation shim.
     """
+
+    name = "compute"
 
     def __init__(
         self,
-        net: "TreePNetwork",
+        net: Optional["TreePNetwork"] = None,
         store: Optional[ReplicatedStore] = None,
         config: Optional[ComputeConfig] = None,
         quorum: Optional[QuorumConfig] = None,
     ) -> None:
-        if net.layout is None:
-            raise RuntimeError("network must be built first")
-        self.net = net
+        super().__init__()
+        self.net: Optional["TreePNetwork"] = None
         self.config = config if config is not None else ComputeConfig()
-        self._owns_store = store is None
-        self.store = store if store is not None else ReplicatedStore(net, quorum)
-        self.directory = ResourceDirectory(net)
-        self._rng = net.rng.get("compute-scheduler")
+        self.store = store
+        self._quorum = quorum
+        self.directory: Optional[ResourceDirectory] = None
+        self._rng = None
         self.agents: Dict[int, ComputeAgent] = {}
         self._rid = itertools.count(1)
         #: Every job this client has (or will have) submitted: id -> spec.
@@ -352,26 +378,85 @@ class JobScheduler:
         self.failovers = 0
         self.placement_hops_total = 0
         self.placements_total = 0
-        net.add_node_hook(self._attach)
-        self.activate_scheduler()
+        if net is not None:
+            if net.layout is None:
+                raise RuntimeError("network must be built first")
+            warn_direct_wire("JobScheduler(net, ...)", "Cluster.with_compute(...)")
+            attach_service(net, self)
 
-    def _attach(self, node) -> None:
+    # ------------------------------------------------------------ lifecycle
+    def on_attach(self, ctx: ServiceContext) -> None:
+        if ctx.net.layout is None:
+            raise RuntimeError("network must be built first")
+        self.net = ctx.net
+        self._rng = ctx.net.rng.get("compute-scheduler")
+        if self.store is None:
+            quorum = self._quorum
+            self.store = ctx.require(
+                "storage", factory=lambda: ReplicatedStore(quorum=quorum)
+            )  # type: ignore[assignment]
+        else:
+            if not self.store.attached:
+                attach_service(ctx.net, self.store)
+            ctx.depends_on(self.store)
+        self.directory = ctx.require(
+            "discovery", factory=ResourceDirectory
+        )  # type: ignore[assignment]
+
+    def setup_node(self, node) -> None:
         self.agents[node.ident] = ComputeAgent(node, self)
 
-    def close(self) -> None:
-        """Detach from the network and stop every timer this service owns.
+    def node_handlers(self, node) -> Mapping[type, Handler]:
+        return self.agents[node.ident].handlers()
 
-        A store this facade created for itself is closed with it; an
-        injected store stays attached (its lifecycle belongs to the
-        caller)."""
-        self.net.remove_node_hook(self._attach)
+    def on_ready(self, ctx: ServiceContext) -> None:
+        self.activate_scheduler()
+
+    def on_node_leave(self, ident: int) -> None:
+        # Crash-stop: the registry already cancelled the node's periodic
+        # tasks; wipe the in-memory worker state (a restarted process has
+        # no memory) and cancel its one-shot completion events.
+        agent = self.agents.get(ident)
+        if agent is not None:
+            agent._crash_cleanup()
+
+    def on_node_revive(self, node) -> None:
+        agent = self.agents[node.ident]
+        agent.revive()
+        if agent.scheduler is not None:
+            # The scheduler host came back before anyone called
+            # ensure_scheduler: its job table is intact (same process), but
+            # the registry cancelled its monitor at departure — re-arm it
+            # or heartbeat-loss detection stays dead for the rest of the run.
+            agent.scheduler.restart_monitor()
+
+    def on_detach(self) -> None:
         for agent in self.agents.values():
             if agent.scheduler is not None:
                 agent.scheduler.stop()
                 agent.scheduler = None
-            agent.close()
-        if self._owns_store:
-            self.store.close()
+            agent.shutdown()
+
+    def node_timer(
+        self,
+        ident: int,
+        interval: float,
+        callback: Callable[[], None],
+        *,
+        jitter=None,
+        label: str = "",
+    ):
+        """Register a node-scoped periodic task through the service context
+        (shared by :class:`ComputeAgent` and :class:`SchedulerCore`)."""
+        return self.ctx.every(interval, callback, node=ident,
+                              jitter=jitter, label=label)
+
+    def close(self) -> None:
+        """Tear the service down: registry-owned cleanup of every agent's
+        handlers and timers; dependencies this facade spawned for itself
+        (its own store/directory) are detached with it, an injected store
+        stays attached (its lifecycle belongs to the caller)."""
+        self.detach()
 
     def random_origin(self) -> int:
         """A seeded random live peer (matchmaking entry-point diversity)."""

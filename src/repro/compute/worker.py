@@ -1,11 +1,14 @@
 """The per-node compute agent: execution, checkpointing, work stealing.
 
-One :class:`ComputeAgent` is attached to every node through
-:meth:`TreePNode.register_handler` (the same pattern as the storage
-subsystem's :class:`~repro.storage.quorum.StorageAgent`).  Every node is a
-potential **worker**; at most one node at a time additionally carries the
-**scheduler** role (:class:`~repro.compute.scheduler.SchedulerCore`),
-attached to :attr:`ComputeAgent.scheduler`.
+One :class:`ComputeAgent` is attached to every node by the compute
+service's per-node registry — its :meth:`ComputeAgent.handlers` mapping is
+installed, torn down on departure and re-installed on revival (the same
+pattern as the storage subsystem's :class:`~repro.storage.quorum.StorageAgent`),
+and its timers are node-scoped periodic tasks cancelled automatically with
+the node.  Every node is a potential **worker**; at most one node at a time
+additionally carries the **scheduler** role
+(:class:`~repro.compute.scheduler.SchedulerCore`), attached to
+:attr:`ComputeAgent.scheduler`.
 
 Execution model
 ---------------
@@ -107,27 +110,42 @@ class ComputeAgent:
         self._hb_timer = None
         self._ckpt_timer = None
         self._steal_timer = None
-        for msg_type, handler in (
-            (JobSubmit, self.handle_submit),
-            (JobAck, self._on_ack),
-            (JobDispatch, self._on_dispatch),
-            (JobAccepted, self._to_scheduler("on_accepted")),
-            (JobRejected, self._to_scheduler("on_rejected")),
-            (JobHeartbeat, self._to_scheduler("on_heartbeat")),
-            (JobComplete, self._to_scheduler("on_complete")),
-            (JobLease, self._on_lease),
-            (JobReport, self._on_report),
-            (JobStealRequest, self._on_steal_request),
-            (JobStealGrant, self._on_steal_grant),
-        ):
-            node.register_handler(msg_type, handler, replace=True)
-        if service.config.stealing:
-            # Deterministic per-node phase de-synchronises probe storms.
-            phase = (node.ident % 97) / 97.0
-            self._steal_timer = node.sim.every(
-                service.config.steal_interval, self._steal_tick,
-                jitter=lambda: phase, label=f"steal:{node.ident}",
-            )
+        self._arm_steal_timer()
+
+    def handlers(self) -> Dict[type, object]:
+        """Declarative handler mapping installed by the service registry."""
+        return {
+            JobSubmit: self.handle_submit,
+            JobAck: self._on_ack,
+            JobDispatch: self._on_dispatch,
+            JobAccepted: self._to_scheduler("on_accepted"),
+            JobRejected: self._to_scheduler("on_rejected"),
+            JobHeartbeat: self._to_scheduler("on_heartbeat"),
+            JobComplete: self._to_scheduler("on_complete"),
+            JobLease: self._on_lease,
+            JobReport: self._on_report,
+            JobStealRequest: self._on_steal_request,
+            JobStealGrant: self._on_steal_grant,
+        }
+
+    def _arm_steal_timer(self) -> None:
+        if not self.service.config.stealing:
+            return
+        if self._steal_timer is not None and self._steal_timer.running:
+            return
+        # Deterministic per-node phase de-synchronises probe storms.  The
+        # timer is node-scoped in the registry: a departure cancels it.
+        phase = (self.node.ident % 97) / 97.0
+        self._steal_timer = self.service.node_timer(
+            self.node.ident, self.service.config.steal_interval,
+            self._steal_tick, jitter=lambda: phase,
+            label=f"steal:{self.node.ident}",
+        )
+
+    def revive(self) -> None:
+        """The process came back up (handlers already re-installed by the
+        registry): re-arm the node-scoped probe loop."""
+        self._arm_steal_timer()
 
     # ------------------------------------------------------------- plumbing
     def _to_scheduler(self, method: str):
@@ -148,6 +166,11 @@ class ComputeAgent:
             if t is not None:
                 t.stop()
         self._hb_timer = self._ckpt_timer = self._steal_timer = None
+
+    def shutdown(self) -> None:
+        """Facade teardown: cancel in-flight work, then stop every timer."""
+        self._crash_cleanup()
+        self.close()
 
     # ------------------------------------------------------------ capacity
     def effective_cpu(self) -> float:
@@ -320,14 +343,16 @@ class ComputeAgent:
 
     # --------------------------------------------------------------- timers
     def _ensure_timers(self) -> None:
-        sim = self.node.sim
         cfg = self.service.config
+        me = self.node.ident
         if self._hb_timer is None or not self._hb_timer.running:
-            self._hb_timer = sim.every(cfg.heartbeat_interval, self._heartbeat_tick,
-                                       label=f"job-hb:{self.node.ident}")
+            self._hb_timer = self.service.node_timer(
+                me, cfg.heartbeat_interval, self._heartbeat_tick,
+                label=f"job-hb:{me}")
         if cfg.checkpointing and (self._ckpt_timer is None or not self._ckpt_timer.running):
-            self._ckpt_timer = sim.every(cfg.checkpoint_interval, self._checkpoint_tick,
-                                         label=f"job-ckpt:{self.node.ident}")
+            self._ckpt_timer = self.service.node_timer(
+                me, cfg.checkpoint_interval, self._checkpoint_tick,
+                label=f"job-ckpt:{me}")
 
     def _stop_job_timers(self) -> None:
         for t in (self._hb_timer, self._ckpt_timer):

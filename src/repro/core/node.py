@@ -143,9 +143,26 @@ class TreePNode(Process):
             )
         self.handlers[msg_type] = handler
 
-    def unregister_handler(self, msg_type: type) -> None:
-        """Remove the service handler for *msg_type* (no-op when absent)."""
+    def unregister_handler(
+        self,
+        msg_type: type,
+        handler: Optional[Callable[[int, Any], None]] = None,
+    ) -> None:
+        """Remove the service handler for *msg_type* (no-op when absent).
+
+        When *handler* is given, the registration is only removed if it is
+        still that exact callable — a service tearing itself down must not
+        evict the successor that already replaced it (the registry-owned
+        cleanup in :mod:`repro.cluster` relies on this).
+        """
+        if handler is not None and self.handlers.get(msg_type) is not handler:
+            return
         self.handlers.pop(msg_type, None)
+
+    def handler_types(self) -> Set[type]:
+        """Message types currently claimed by service handlers (diagnostics
+        and the service-registry leak regression tests)."""
+        return set(self.handlers)
 
     # ------------------------------------------------------------- identity
     @property

@@ -20,7 +20,7 @@ that state.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -120,6 +120,32 @@ class TreePNetwork:
         """
         try:
             self.node_hooks.remove(hook)
+        except ValueError:
+            pass
+
+    # ------------------------------------------------------ lifecycle hooks
+    def add_leave_hook(self, hook: Callable[[int], None]) -> None:
+        """Run *hook(ident)* whenever a live peer crash-stops.
+
+        Thin wrapper over the fabric's liveness transition hooks, so the
+        callback fires exactly once per departure regardless of the driver
+        (:meth:`fail_nodes`, a failure schedule, or a direct ``set_down``).
+        """
+        self.network.down_hooks.append(hook)
+
+    def remove_leave_hook(self, hook: Callable[[int], None]) -> None:
+        try:
+            self.network.down_hooks.remove(hook)
+        except ValueError:
+            pass
+
+    def add_revive_hook(self, hook: Callable[[int], None]) -> None:
+        """Run *hook(ident)* whenever a down peer is revived (``set_up``)."""
+        self.network.up_hooks.append(hook)
+
+    def remove_revive_hook(self, hook: Callable[[int], None]) -> None:
+        try:
+            self.network.up_hooks.remove(hook)
         except ValueError:
             pass
 
@@ -369,9 +395,24 @@ class TreePNetwork:
 
     # ------------------------------------------------------------ failures
     def fail_nodes(self, idents: Iterable[int]) -> None:
-        """Crash-stop the given peers (no repair — the paper's stress test)."""
+        """Crash-stop the given peers (no repair — the paper's stress test).
+
+        Attached services (see :mod:`repro.cluster`) observe each departure
+        through the fabric's liveness hooks: their node-scoped periodic
+        tasks are cancelled and their ``on_node_leave`` callbacks run.
+        """
         for i in idents:
             self.network.set_down(i)
+
+    def revive_nodes(self, idents: Iterable[int]) -> None:
+        """Bring crash-stopped peers back up (same process, state intact).
+
+        The inverse of :meth:`fail_nodes`; attached services re-install
+        their datagram handlers and re-arm node-scoped periodic tasks via
+        their ``on_node_revive`` callbacks.
+        """
+        for i in idents:
+            self.network.set_up(i)
 
     def alive_ids(self) -> List[int]:
         return [i for i in self.ids if self.network.is_up(i)]

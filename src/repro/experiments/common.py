@@ -20,6 +20,7 @@ from typing import Dict, List, Literal, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.cluster import Cluster
 from repro.core.config import TreePConfig
 from repro.core.lookup import LookupResult
 from repro.core.repair import PAPER_POLICY, RepairPolicy, apply_failure_step
@@ -146,8 +147,9 @@ def _failed_hop_counts(net: TreePNetwork, failed: Sequence[LookupResult]) -> Lis
 
 def run_failure_sweep(config: SweepConfig) -> SweepResult:
     """Execute one full sweep (the engine behind Figures A-I)."""
-    net = TreePNetwork(config=config.treep_config(), seed=config.seed)
-    layout = net.build(config.n)
+    cluster = Cluster(config=config.treep_config(), seed=config.seed).build(config.n)
+    net = cluster.net
+    layout = cluster.layout
     result = SweepResult(config=config, height=layout.height, initial_n=config.n)
 
     rng = net.rng.get("sweep")

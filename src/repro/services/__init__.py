@@ -12,6 +12,11 @@ functionality".  This package builds those three consumers:
   discovery walking the capacity aggregates of the hierarchy.
 * :mod:`repro.services.loadbalance` — capacity-aware task placement using
   the same aggregates.
+
+All three implement the :class:`~repro.cluster.service.Service` lifecycle
+protocol; construct them through :class:`repro.cluster.Cluster`
+(``with_dht`` / ``with_discovery`` / ``with_loadbalance``) — the direct
+``*(net)`` constructors remain as deprecation shims.
 """
 
 from repro.services.dht import TreePDht

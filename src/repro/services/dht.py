@@ -10,21 +10,27 @@ returns on the first replica hit.
 
 This is the *simple* key/value service — single coordinator, no quorum, no
 re-replication; :mod:`repro.storage` is the durable subsystem built on the
-same primitives.  The datagram handlers attach through the node
-handler-registration API (:meth:`~repro.core.node.TreePNode.register_handler`)
-via a network node hook, so they cover nodes that join later and never
-monkey-patch the class.  PUT acks travel as the dedicated
+same primitives.  The facade implements the
+:class:`~repro.cluster.service.Service` lifecycle protocol: its datagram
+handlers are declared via :meth:`TreePDht.node_handlers` and installed (and
+torn down again) by the per-node service registry, covering nodes that join
+later without monkey-patching.  PUT acks travel as the dedicated
 :class:`~repro.core.messages.DhtPutAck` (carrying the replica set in its
 own field), replica copies as ``DhtPut(direct=True)`` — no TTL abuse, and
 a store confirmation can never be mistaken for a GET hit.
+
+Construct through :meth:`repro.cluster.Cluster.with_dht`; the direct
+``TreePDht(net)`` constructor remains as a deprecation shim.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
+from repro.cluster.registry import attach_service
+from repro.cluster.service import Handler, Service, ServiceContext, warn_direct_wire
 from repro.core.lookup import greedy_key_next_hop
 from repro.core.messages import DhtGet, DhtPut, DhtPutAck, DhtValue
 from repro.core.node import TreePNode
@@ -47,21 +53,24 @@ class DhtResult:
     stored_on: Tuple[int, ...] = ()
 
 
-class TreePDht:
+class TreePDht(Service):
     """Client API: synchronous PUT/GET against a built TreeP network.
 
-    >>> net = TreePNetwork(seed=7); _ = net.build(64)
-    >>> dht = TreePDht(net)
+    >>> from repro.cluster import Cluster
+    >>> dht = Cluster(seed=7).build(64).with_dht().dht
     >>> dht.put("job/42", {"state": "done"}).found
     True
     >>> dht.get("job/42").value
     {'state': 'done'}
     """
 
-    def __init__(self, net: TreePNetwork, replicas: int = 2) -> None:
+    name = "dht"
+
+    def __init__(self, net: Optional[TreePNetwork] = None, replicas: int = 2) -> None:
+        super().__init__()
         if replicas < 1:
             raise ValueError(f"replicas must be >= 1, got {replicas}")
-        self.net = net
+        self.net: Optional[TreePNetwork] = None
         self.replicas = replicas
         #: Per-node key/value partitions (was an ad-hoc dict on the node).
         self.stores: Dict[int, KVStore] = {}
@@ -69,22 +78,29 @@ class TreePDht:
         self._replies: Dict[int, object] = {}
         self._abandoned: Dict[int, None] = {}
         self._rid = itertools.count(1)
-        net.add_node_hook(self._attach)
+        if net is not None:
+            warn_direct_wire("TreePDht(net, ...)", "Cluster.with_dht(...)")
+            attach_service(net, self)
 
-    # ----------------------------------------------------------- node side
-    def _attach(self, node: TreePNode) -> None:
-        """Give *node* a partition and register the DHT datagram handlers."""
+    # ------------------------------------------------------------ lifecycle
+    def on_attach(self, ctx: ServiceContext) -> None:
+        self.net = ctx.net
+
+    def setup_node(self, node: TreePNode) -> None:
+        """Give *node* a (fresh) key/value partition."""
         self.stores[node.ident] = KVStore(node.ident)
-        node.register_handler(
-            DhtPut, lambda src, msg: self._on_put(node, src, msg), replace=True)
-        node.register_handler(
-            DhtGet, lambda src, msg: self._on_get(node, src, msg), replace=True)
-        node.register_handler(DhtValue, self._on_reply, replace=True)
-        node.register_handler(DhtPutAck, self._on_reply, replace=True)
+
+    def node_handlers(self, node: TreePNode) -> Mapping[type, Handler]:
+        return {
+            DhtPut: lambda src, msg, node=node: self._on_put(node, src, msg),
+            DhtGet: lambda src, msg, node=node: self._on_get(node, src, msg),
+            DhtValue: self._on_reply,
+            DhtPutAck: self._on_reply,
+        }
 
     def close(self) -> None:
-        """Detach from the network: stop covering newly created nodes."""
-        self.net.remove_node_hook(self._attach)
+        """Tear the service down (registry-owned handler cleanup)."""
+        self.detach()
 
     def _on_put(self, node: TreePNode, src: int, msg: DhtPut) -> None:
         store = self.stores[node.ident]

@@ -11,16 +11,29 @@ stop after ``max_results`` hits — O(log n + results) instead of flooding.
 :class:`ResourceDirectory` implements exactly that walk over a built
 network.  Aggregates are (re)computed bottom-up from the hierarchy layout —
 the steady-state equivalent of parents folding their children's
-ChildReports; :meth:`refresh` replays it after churn.
+ChildReports; :meth:`refresh` replays it after churn.  As a
+:class:`~repro.cluster.service.Service` the directory also *watches* churn:
+join/leave/revive callbacks mark the aggregates stale and the next query
+resyncs them, so `Cluster`-driven churn no longer needs manual refresh
+calls (explicit :meth:`refresh` still works and is still exact).
+
+Construct through :meth:`repro.cluster.Cluster.with_discovery` (or let
+``with_compute`` pull it in); ``ResourceDirectory(net)`` remains as a
+deprecation shim.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
+from repro.cluster.registry import attach_service
+from repro.cluster.service import Service, ServiceContext, warn_direct_wire
 from repro.core.capacity import NodeCapacity
 from repro.core.treep import TreePNetwork
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.node import TreePNode
 
 
 @dataclass(frozen=True)
@@ -85,20 +98,53 @@ class DiscoveryResult:
     subtrees_pruned: int
 
 
-class ResourceDirectory:
+class ResourceDirectory(Service):
     """Hierarchy-walking resource discovery over a built TreeP network."""
 
-    def __init__(self, net: TreePNetwork) -> None:
-        if net.layout is None:
-            raise RuntimeError("network must be built first")
-        self.net = net
+    name = "discovery"
+
+    def __init__(self, net: Optional[TreePNetwork] = None) -> None:
+        super().__init__()
+        self.net: Optional[TreePNetwork] = None
         self._agg: Dict[Tuple[int, int], Aggregate] = {}
+        self._stale = True
+        self._liveness_key: Tuple[int, int] = (-1, -1)
+        if net is not None:
+            if net.layout is None:
+                raise RuntimeError("network must be built first")
+            warn_direct_wire("ResourceDirectory(net)", "Cluster.with_discovery()")
+            attach_service(net, self)
+
+    # ------------------------------------------------------------ lifecycle
+    def on_attach(self, ctx: ServiceContext) -> None:
+        if ctx.net.layout is None:
+            raise RuntimeError("network must be built first")
+        self.net = ctx.net
         self.refresh()
+
+    def on_node_join(self, node: "TreePNode") -> None:
+        self._stale = True
+
+    def on_node_leave(self, ident: int) -> None:
+        self._stale = True
+
+    def on_node_revive(self, node: "TreePNode") -> None:
+        self._stale = True
+
+    def _sync(self) -> None:
+        """Lazily resync aggregates when churn happened since the last
+        (re)computation — detected via the explicit churn callbacks or the
+        fabric's liveness epoch (covers direct ``set_down``/``set_up``)."""
+        assert self.net is not None
+        key = (len(self.net.nodes), self.net.network.liveness_epoch)
+        if self._stale or key != self._liveness_key:
+            self.refresh()
 
     # ------------------------------------------------------------ aggregates
     def refresh(self) -> None:
         """Recompute subtree aggregates bottom-up (post-churn)."""
         net = self.net
+        assert net is not None, "directory not attached to a network"
         layout = net.layout
         assert layout is not None
         self._agg.clear()
@@ -118,8 +164,11 @@ class ResourceDirectory:
                         if sub is not None:
                             agg.fold_aggregate(sub)
                 self._agg[(p, lvl)] = agg
+        self._stale = False
+        self._liveness_key = (len(net.nodes), net.network.liveness_epoch)
 
     def aggregate_of(self, parent: int, level: int) -> Optional[Aggregate]:
+        self._sync()
         return self._agg.get((parent, level))
 
     # ---------------------------------------------------------------- query
@@ -131,6 +180,8 @@ class ResourceDirectory:
     ) -> DiscoveryResult:
         """Resolve *constraint*, counting tree-edge traversals as hops."""
         net = self.net
+        assert net is not None, "directory not attached to a network"
+        self._sync()
         layout = net.layout
         assert layout is not None
         if max_results < 1:

@@ -20,11 +20,16 @@ placement (or eagerly via :meth:`LoadBalancer.refresh`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.cluster.registry import attach_service
+from repro.cluster.service import Service, ServiceContext, warn_direct_wire
 from repro.core.treep import TreePNetwork
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.node import TreePNode
 
 
 @dataclass(frozen=True)
@@ -46,15 +51,20 @@ class Placement:
     hops: int
 
 
-class LoadBalancer:
-    """Hierarchical least-loaded placement over a built TreeP network."""
+class LoadBalancer(Service):
+    """Hierarchical least-loaded placement over a built TreeP network.
 
-    def __init__(self, net: TreePNetwork) -> None:
-        if net.layout is None:
-            raise RuntimeError("network must be built first")
-        self.net = net
+    Construct through :meth:`repro.cluster.Cluster.with_loadbalance`;
+    ``LoadBalancer(net)`` remains as a deprecation shim.
+    """
+
+    name = "loadbalance"
+
+    def __init__(self, net: Optional[TreePNetwork] = None) -> None:
+        super().__init__()
+        self.net: Optional[TreePNetwork] = None
         #: CPU-share units currently assigned per node.
-        self.assigned: Dict[int, float] = {i: 0.0 for i in net.ids}
+        self.assigned: Dict[int, float] = {}
         self.placements: List[Placement] = []
         #: Cached subtree headroom, keyed by node id (the subtree rooted at
         #: the node's own max level — the only shape placement queries).
@@ -62,7 +72,22 @@ class LoadBalancer:
         #: Per-node ancestor chain whose cached totals contain the node.
         self._chains: Dict[int, Tuple[int, ...]] = {}
         self._liveness_key: Tuple[int, int] = (-1, -1)
+        if net is not None:
+            if net.layout is None:
+                raise RuntimeError("network must be built first")
+            warn_direct_wire("LoadBalancer(net)", "Cluster.with_loadbalance()")
+            attach_service(net, self)
+
+    # ------------------------------------------------------------ lifecycle
+    def on_attach(self, ctx: ServiceContext) -> None:
+        if ctx.net.layout is None:
+            raise RuntimeError("network must be built first")
+        self.net = ctx.net
+        self.assigned = {i: 0.0 for i in ctx.net.ids}
         self.refresh()
+
+    def setup_node(self, node: "TreePNode") -> None:
+        self.assigned.setdefault(node.ident, 0.0)
 
     # ------------------------------------------------------------- capacity
     def headroom(self, ident: int) -> float:

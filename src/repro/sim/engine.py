@@ -163,6 +163,45 @@ class Simulator:
         return timer
 
 
+class TimerGroup:
+    """Owns a set of :class:`PeriodicTimer`\\ s with one-call cancellation.
+
+    The service layer (:mod:`repro.cluster`) files every periodic task a
+    service registers into a group — per service, or per service per node —
+    so tearing a service (or a departed node) down cannot leak a re-arming
+    timer.  Adding a timer opportunistically prunes already-stopped ones,
+    keeping the group bounded for services that start and stop tasks
+    repeatedly (e.g. per-job heartbeat loops).
+    """
+
+    __slots__ = ("_timers",)
+
+    def __init__(self) -> None:
+        self._timers: list[PeriodicTimer] = []
+
+    def add(self, timer: "PeriodicTimer") -> "PeriodicTimer":
+        """Track *timer*; returns it for call-through convenience."""
+        self._timers = [t for t in self._timers if t.running]
+        self._timers.append(timer)
+        return timer
+
+    def stop_all(self) -> int:
+        """Stop every tracked timer; returns how many were still running."""
+        stopped = 0
+        for t in self._timers:
+            if t.running:
+                t.stop()
+                stopped += 1
+        self._timers.clear()
+        return stopped
+
+    def active(self) -> list["PeriodicTimer"]:
+        return [t for t in self._timers if t.running]
+
+    def __len__(self) -> int:
+        return len(self.active())
+
+
 class PeriodicTimer:
     """Re-arming timer owned by a :class:`Simulator`.
 

@@ -128,6 +128,14 @@ class Network:
         self.partition_filter: Optional[Callable[[int, int], bool]] = None
         #: Optional hook observing every delivered datagram (tracing).
         self.delivery_hook: Optional[Callable[[Datagram], None]] = None
+        #: Liveness transition hooks, fired exactly once per transition
+        #: (``set_down`` on an up process / ``set_up`` on a down one) with
+        #: the affected address.  The service layer (:mod:`repro.cluster`)
+        #: uses these to run churn callbacks and registry-owned cleanup no
+        #: matter which driver crashed the node (``TreePNetwork.fail_nodes``,
+        #: a :class:`~repro.sim.failures.FailureSchedule`, or a direct call).
+        self.down_hooks: list[Callable[[int], None]] = []
+        self.up_hooks: list[Callable[[int], None]] = []
 
     # ---------------------------------------------------------- membership
     def register(self, proc: Process) -> None:
@@ -161,11 +169,15 @@ class Network:
         if address in self._procs and address not in self._down:
             self._down.add(address)
             self.liveness_epoch += 1
+            for hook in list(self.down_hooks):
+                hook(address)
 
     def set_up(self, address: int) -> None:
         if address in self._down:
             self._down.discard(address)
             self.liveness_epoch += 1
+            for hook in list(self.up_hooks):
+                hook(address)
 
     def is_up(self, address: int) -> bool:
         return address in self._procs and address not in self._down

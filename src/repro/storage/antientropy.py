@@ -26,6 +26,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional
 
+from repro.cluster.registry import attach_service
+from repro.cluster.service import (
+    Service,
+    ServiceContext,
+    ServiceError,
+    warn_direct_wire,
+)
 from repro.core.messages import StoreReplicate
 from repro.metrics.durability import DurabilityTracker, ReplicationSample
 from repro.storage.quorum import REPAIR_RID, ReplicatedStore
@@ -51,24 +58,69 @@ class SweepReport:
         return self.repairs_sent == 0 and self.lost == 0
 
 
-class AntiEntropy:
-    """Periodic re-replication maintenance for a :class:`ReplicatedStore`."""
+class AntiEntropy(Service):
+    """Periodic re-replication maintenance for a :class:`ReplicatedStore`.
+
+    As a :class:`~repro.cluster.service.Service` the sweep timer registers
+    through the service context, so detaching the service (or shutting a
+    :class:`~repro.cluster.Cluster` down) cancels it even when the caller
+    forgot :meth:`stop`.  Construct through
+    ``Cluster.with_storage(anti_entropy=interval)``; ``AntiEntropy(store)``
+    still works and resolves the store dependency directly.
+    """
+
+    name = "anti-entropy"
 
     def __init__(
         self,
-        store: ReplicatedStore,
+        store: Optional[ReplicatedStore] = None,
         interval: float = 30.0,
         tracker: Optional[DurabilityTracker] = None,
     ) -> None:
+        super().__init__()
         if interval <= 0:
             raise ValueError(f"interval must be > 0, got {interval}")
         self.store = store
         self.interval = interval
-        self.tracker = tracker if tracker is not None else DurabilityTracker(
-            n_target=store.quorum.n
-        )
+        self.tracker = tracker
+        if self.tracker is None and store is not None:
+            self.tracker = DurabilityTracker(n_target=store.quorum.n)
         self.reports: List[SweepReport] = []
         self._timer: Optional["PeriodicTimer"] = None
+        if store is not None and store.attached:
+            warn_direct_wire(
+                "AntiEntropy(store, ...) on an attached store",
+                "Cluster.with_storage(..., anti_entropy=interval)",
+            )
+            attach_service(store.net, self)
+
+    # ------------------------------------------------------------ lifecycle
+    def on_attach(self, ctx: ServiceContext) -> None:
+        if self.store is None:
+            self.store = ctx.require("storage")  # type: ignore[assignment]
+        else:
+            if not self.store.attached:
+                # Injected new-style (detached) store: wire it to the same
+                # network, or the first sweep would find no agents at all.
+                attach_service(ctx.net, self.store)
+            ctx.depends_on(self.store)
+        if self.tracker is None:
+            self.tracker = DurabilityTracker(n_target=self.store.quorum.n)
+
+    def on_detach(self) -> None:
+        self.stop()
+
+    def _resolved_store(self) -> ReplicatedStore:
+        """The attached store this task sweeps — loud failure otherwise
+        (an unattached store has no agents: a sweep over it would report
+        'healthy' while repairing nothing)."""
+        if self.store is None or not self.store.attached:
+            raise ServiceError(
+                "anti-entropy has no attached store: construct it through "
+                "Cluster.with_storage(..., anti_entropy=interval) or attach "
+                "it (and its store) with add_service first"
+            )
+        return self.store
 
     # ------------------------------------------------------------ scheduling
     @property
@@ -79,9 +131,13 @@ class AntiEntropy:
         """Arm the periodic sweep on the network's simulator."""
         if self.running:
             return
-        self._timer = self.store.net.sim.every(
-            self.interval, self.sweep, label="anti-entropy"
-        )
+        if self.attached:
+            self._timer = self.ctx.every(self.interval, self.sweep,
+                                         label="anti-entropy")
+        else:
+            self._timer = self._resolved_store().net.sim.every(
+                self.interval, self.sweep, label="anti-entropy"
+            )
 
     def stop(self) -> None:
         if self._timer is not None:
@@ -103,7 +159,7 @@ class AntiEntropy:
 
     def sweep(self) -> SweepReport:
         """One detection + repair pass; returns what it found and sent."""
-        store = self.store
+        store = self._resolved_store()
         net = store.net
         n = store.quorum.n
         catalog = self._catalogue()

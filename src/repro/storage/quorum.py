@@ -17,17 +17,25 @@ The write/read path is Dynamo-shaped, grafted onto TreeP routing:
 3. Quorum reads return the freshest stamp seen and **read-repair** any
    replica that reported a stale or missing copy.
 
-:class:`StorageAgent` is the per-node server side, attached through the
-node handler-registration API (no monkey-patching).  :class:`ReplicatedStore`
-is the synchronous client the examples, benches and tests drive.
+:class:`StorageAgent` is the per-node server side; :class:`ReplicatedStore`
+is the synchronous client the examples, benches and tests drive, and it
+implements the :class:`~repro.cluster.service.Service` lifecycle protocol —
+each node's agent handlers are declared via
+:meth:`ReplicatedStore.node_handlers` and installed/removed by the per-node
+service registry (no monkey-patching, no leak on teardown).
+
+Construct through :meth:`repro.cluster.Cluster.with_storage`; the direct
+``ReplicatedStore(net, ...)`` constructor remains as a deprecation shim.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Mapping, Optional, Set, Tuple
 
+from repro.cluster.registry import attach_service
+from repro.cluster.service import Handler, Service, ServiceContext, warn_direct_wire
 from repro.core.lookup import greedy_key_next_hop
 from repro.core.messages import (
     StoreAck,
@@ -170,17 +178,20 @@ class StorageAgent:
         #: the storage (the compute subsystem's checkpointing) issue quorum
         #: ops without pumping the simulator.
         self.callbacks: Dict[int, Callable[[Any], None]] = {}
-        for msg_type, handler in (
-            (StorePut, self.handle_put),
-            (StoreGet, self.handle_get),
-            (StoreReplicate, self._on_replicate),
-            (StoreAck, self._on_ack),
-            (StoreRead, self._on_read),
-            (StoreReadReply, self._on_read_reply),
-            (StorePutResult, self._on_result),
-            (StoreGetResult, self._on_result),
-        ):
-            node.register_handler(msg_type, handler, replace=True)
+
+    def handlers(self) -> Dict[type, Callable[[int, Any], None]]:
+        """Declarative handler mapping; the owning service's registry
+        installs it on the node (and removes it again on teardown)."""
+        return {
+            StorePut: self.handle_put,
+            StoreGet: self.handle_get,
+            StoreReplicate: self._on_replicate,
+            StoreAck: self._on_ack,
+            StoreRead: self._on_read,
+            StoreReadReply: self._on_read_reply,
+            StorePutResult: self._on_result,
+            StoreGetResult: self._on_result,
+        }
 
     # ------------------------------------------------------------- routing
     def _route(self, msg) -> bool:
@@ -386,44 +397,53 @@ class StorageAgent:
         self.replies[msg.request_id] = msg
 
 
-class ReplicatedStore:
+class ReplicatedStore(Service):
     """Synchronous quorum PUT/GET client against a built TreeP network.
 
-    >>> net = TreePNetwork(seed=7); _ = net.build(64)
-    >>> store = ReplicatedStore(net, QuorumConfig(n=3, w=2, r=2))
+    >>> from repro.cluster import Cluster
+    >>> store = Cluster(seed=7).build(64).with_storage(
+    ...     QuorumConfig(n=3, w=2, r=2)).storage
     >>> store.put("job/42", {"state": "done"}).ok
     True
     >>> store.get("job/42").value
     {'state': 'done'}
     """
 
+    name = "storage"
+
     def __init__(
         self,
-        net: "TreePNetwork",
+        net: Optional["TreePNetwork"] = None,
         quorum: Optional[QuorumConfig] = None,
         placement: PlacementStrategy | str = "successor",
     ) -> None:
-        self.net = net
+        super().__init__()
+        self.net: Optional["TreePNetwork"] = None
         self.quorum = quorum if quorum is not None else QuorumConfig()
         self.placement = make_placement(placement)
         self.agents: Dict[int, StorageAgent] = {}
         self._rid = itertools.count(1)
         #: key ids successfully written at least once (durability baseline).
         self.tracked_keys: Dict[int, str] = {}
-        net.add_node_hook(self._attach)
+        if net is not None:
+            warn_direct_wire("ReplicatedStore(net, ...)", "Cluster.with_storage(...)")
+            attach_service(net, self)
 
-    def _attach(self, node: "TreePNode") -> None:
+    # ------------------------------------------------------------ lifecycle
+    def on_attach(self, ctx: ServiceContext) -> None:
+        self.net = ctx.net
+
+    def setup_node(self, node: "TreePNode") -> None:
         self.agents[node.ident] = StorageAgent(node, self.quorum, self.placement)
 
-    def close(self) -> None:
-        """Detach from the network: stop covering newly created nodes.
+    def node_handlers(self, node: "TreePNode") -> Mapping[type, Handler]:
+        return self.agents[node.ident].handlers()
 
-        Call before replacing this store with another facade on the same
-        network — otherwise the discarded instance keeps allocating agents
-        for every future join.  (A successor's handlers replace this
-        instance's on existing nodes automatically.)
-        """
-        self.net.remove_node_hook(self._attach)
+    def close(self) -> None:
+        """Tear the service down: the registry unregisters every agent's
+        handlers (on current *and* rebuilt nodes — the pre-1.3 facade left
+        them behind) and stops covering newly created nodes."""
+        self.detach()
 
     def key_id(self, key: str) -> int:
         return hash_key(key, self.net.config.space.extent)

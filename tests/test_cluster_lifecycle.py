@@ -1,0 +1,439 @@
+"""Service lifecycle under churn: the `Cluster` facade, the `Service`
+protocol and the per-node registry's owned cleanup.
+
+Covers the 1.3.0 redesign invariants:
+
+* join/leave/revive callbacks fire exactly once per churn event for every
+  attached service (30% churn schedule with revivals and protocol joins);
+* a departed node's handlers are unregistered and its periodic tasks
+  cancelled; a revived node gets its handlers back;
+* a torn-down facade leaves no handlers behind, on existing *or* rebuilt
+  nodes (the pre-1.3 leak);
+* `Cluster` owns construction order and the compute → storage → overlay
+  dependency chain, and shutdown detaches in reverse order.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro import (
+    Cluster,
+    ComputeConfig,
+    JobSpec,
+    QuorumConfig,
+    Service,
+    ServiceError,
+    TreePConfig,
+)
+from repro.core.messages import DhtGet, DhtPut, JobSubmit, StoreGet, StorePut
+
+
+def make_cluster(n=64, seed=11):
+    return Cluster(config=TreePConfig.paper_case1(), seed=seed).build(n)
+
+
+class ProbeService(Service):
+    """Counts every lifecycle callback (the exactly-once regression)."""
+
+    name = "probe"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.setups: Counter = Counter()
+        self.joins: Counter = Counter()
+        self.leaves: Counter = Counter()
+        self.revives: Counter = Counter()
+        self.ticks = 0
+        self.detached = False
+
+    def on_attach(self, ctx) -> None:
+        ctx.every(5.0, self._tick, label="probe-tick")
+
+    def _tick(self) -> None:
+        self.ticks += 1
+
+    def setup_node(self, node) -> None:
+        self.setups[node.ident] += 1
+
+    def on_node_join(self, node) -> None:
+        self.joins[node.ident] += 1
+
+    def on_node_leave(self, ident) -> None:
+        self.leaves[ident] += 1
+
+    def on_node_revive(self, node) -> None:
+        self.revives[node.ident] += 1
+
+    def on_detach(self) -> None:
+        self.detached = True
+
+
+# ------------------------------------------------------------ churn counts
+def test_callbacks_fire_exactly_once_per_event_under_30pct_churn():
+    cluster = (make_cluster(n=96)
+               .with_dht()
+               .with_loadbalance()
+               .with_storage(QuorumConfig(n=3, w=2, r=2), anti_entropy=10.0)
+               .with_compute(ComputeConfig()))
+    probe = ProbeService()
+    cluster.add_service(probe)
+
+    net = cluster.net
+    rng = net.rng.get("lifecycle-churn")
+    order = [int(v) for v in rng.permutation(net.ids)]
+    total = int(0.30 * len(net.ids))
+    burst = max(1, len(net.ids) // 16)
+
+    killed: list[int] = []
+    revived: list[int] = []
+    joined: list[int] = []
+    next_id = max(net.ids) + 1
+    while len(killed) < total:
+        step = order[len(killed):len(killed) + min(burst, total - len(killed))]
+        cluster.fail_nodes(step, heal=True)
+        killed.extend(step)
+        cluster.run_for(5.0)
+        # Revive every other burst's first victim; join one brand-new peer.
+        if len(revived) < len(killed) // (2 * burst) + 1:
+            back = step[0]
+            cluster.revive_nodes([back])
+            revived.append(back)
+        cluster.join_node(next_id)
+        joined.append(next_id)
+        next_id += 1
+        cluster.run_for(5.0)
+
+    leave_events = Counter(killed)
+    revive_events = Counter(revived)
+    join_events = Counter(joined)
+    assert probe.leaves == leave_events, "leave callbacks must fire exactly once"
+    assert probe.revives == revive_events, "revive callbacks must fire exactly once"
+    assert probe.joins == join_events, "join callbacks must fire exactly once"
+    # Setup ran once per pre-existing node at attach plus once per join.
+    assert sum(probe.setups.values()) == 96 + len(joined)
+    assert max(probe.setups.values()) == 1
+    # Double-kill of an already-down node must not re-fire callbacks.
+    still_down = next(i for i in killed if i not in revived)
+    cluster.fail_nodes([still_down])
+    assert probe.leaves[still_down] == leave_events[still_down]
+    assert probe.ticks > 0  # the service-wide periodic task ran
+    cluster.shutdown()
+
+
+# ------------------------------------------------------- registry cleanup
+def test_leave_unregisters_handlers_and_cancels_node_tasks():
+    cluster = (make_cluster()
+               .with_storage(QuorumConfig(n=3, w=2, r=2))
+               .with_compute(ComputeConfig()))
+    state = cluster.state
+    victim = next(i for i in cluster.ids if i != cluster.compute.scheduler_ident)
+    node = cluster.net.nodes[victim]
+    assert StorePut in node.handler_types()
+    assert JobSubmit in node.handler_types()
+    assert state.registry_for(node).active_timers("compute") > 0  # steal probe
+
+    cluster.fail_nodes([victim])
+    assert node.handler_types() == set(), "departure must sweep all handlers"
+    assert state.registry_for(node).active_timers("compute") == 0
+    assert state.registry_for(node).active_timers("storage") == 0
+
+    cluster.revive_nodes([victim])
+    assert StorePut in node.handler_types(), "revival must re-install handlers"
+    assert JobSubmit in node.handler_types()
+    assert state.registry_for(node).active_timers("compute") > 0
+    cluster.shutdown()
+
+
+def test_detach_sweeps_handlers_everywhere_and_spares_other_services():
+    cluster = make_cluster().with_dht().with_storage()
+    store = cluster.storage
+    store.close()
+    assert not store.attached
+    for node in cluster.net.nodes.values():
+        types = node.handler_types()
+        assert StorePut not in types and StoreGet not in types
+        assert DhtPut in types and DhtGet in types  # dht untouched
+    cluster.shutdown()
+    for node in cluster.net.nodes.values():
+        assert node.handler_types() == set()
+
+
+def test_rebuilt_node_has_no_stale_handlers():
+    """The pre-1.3 leak: a closed facade kept wiring every future node."""
+    cluster = make_cluster().with_storage()
+    store = cluster.storage
+    store.close()
+    new_id = max(cluster.ids) + 1
+    cluster.join_node(new_id)
+    rebuilt = cluster.net.nodes[new_id]
+    assert rebuilt.handler_types() == set()
+    assert new_id not in store.agents  # no longer covering new nodes
+
+
+def test_same_name_service_replaces_predecessor():
+    cluster = make_cluster().with_storage(QuorumConfig(n=2, w=1, r=1))
+    first = cluster.storage
+    hooks_before = len(cluster.net.node_hooks)
+    cluster.with_storage(QuorumConfig(n=3, w=2, r=2))
+    second = cluster.storage
+    assert second is not first
+    assert not first.attached and second.attached
+    assert len(cluster.net.node_hooks) == hooks_before  # no hook leak
+    assert second.put("k", 1).ok
+
+
+def test_periodic_tasks_cancelled_on_shutdown():
+    cluster = make_cluster().with_storage(anti_entropy=10.0).with_compute()
+    ae = cluster.anti_entropy
+    ae.start()
+    assert ae.running
+    grid = cluster.compute
+    grid.submit(JobSpec(job_id=1, cpu_demand=1.0, work=5.0))
+    assert grid.run_until_done(timeout=120.0)
+    state = cluster.state
+    cluster.shutdown()
+    assert not ae.running, "shutdown must cancel the anti-entropy sweep"
+    for registry in state.registries.values():
+        for svc in registry.services():
+            assert registry.active_timers(svc) == 0
+
+
+# ------------------------------------------------- construction & ordering
+def test_with_compute_owns_dependency_chain():
+    cluster = make_cluster().with_compute(ComputeConfig())
+    names = [s.name for s in cluster.services]
+    assert names == ["storage", "discovery", "compute"]
+    assert cluster.compute.store is cluster.storage
+    assert cluster.compute.directory is cluster.directory
+    # Detaching compute takes the dependencies it spawned with it.
+    cluster.compute.close()
+    assert [s.name for s in cluster.services] == []
+
+
+def test_with_compute_reuses_existing_storage():
+    cluster = (make_cluster()
+               .with_storage(QuorumConfig(n=3, w=2, r=2))
+               .with_compute())
+    assert cluster.compute.store is cluster.storage
+    assert cluster.storage.quorum.n == 3
+    cluster.compute.close()
+    # An explicitly attached storage service is NOT owned by compute.
+    assert cluster.storage.attached
+
+
+def test_services_require_built_overlay():
+    cluster = Cluster(seed=3)
+    with pytest.raises(ServiceError):
+        cluster.with_storage()
+    with pytest.raises(ServiceError):
+        cluster.with_compute()
+
+
+def test_missing_service_accessor_raises_with_hint():
+    cluster = make_cluster()
+    with pytest.raises(ServiceError, match="with_storage"):
+        cluster.storage
+    with pytest.raises(ServiceError, match="with_compute"):
+        cluster.compute
+
+
+def test_service_cannot_attach_to_two_networks():
+    a = make_cluster(seed=5)
+    b = make_cluster(seed=6)
+    a.with_storage()
+    with pytest.raises(ServiceError):
+        b.state.attach(a.storage)
+
+
+def test_cluster_context_manager_shuts_down():
+    with make_cluster().with_storage(anti_entropy=5.0) as cluster:
+        store, ae = cluster.storage, cluster.anti_entropy
+        ae.start()
+        assert store.put("k", 1).ok
+    assert not ae.running
+    assert not store.attached
+
+
+def test_shared_state_with_legacy_constructors():
+    """Old direct-wire constructors attach through the same registry, so
+    the two styles compose instead of colliding."""
+    from repro.storage.quorum import ReplicatedStore
+
+    cluster = make_cluster()
+    with pytest.deprecated_call():
+        store = ReplicatedStore(cluster.net, QuorumConfig(n=2, w=1, r=1))
+    assert cluster.storage is store
+    cluster.with_compute()
+    assert cluster.compute.store is store
+
+
+# ------------------------------------------------------ review regressions
+def test_scheduler_monitor_survives_host_fail_and_revive():
+    """Regression: a fail+revive of the scheduler host (with no
+    ensure_scheduler in between) must leave heartbeat-loss detection armed
+    — the registry cancels the node-scoped monitor at departure, so the
+    revival callback has to re-arm it."""
+    cluster = make_cluster().with_compute(ComputeConfig())
+    grid = cluster.compute
+    host = grid.scheduler_ident
+    cluster.fail_nodes([host])
+    assert not grid.scheduler_core()._timer.running
+    cluster.revive_nodes([host])
+    assert not grid.ensure_scheduler()  # same process, table intact: no failover
+    assert grid.scheduler_core()._timer.running, "monitor must be re-armed"
+    # End-to-end: a worker killed mid-job is still detected and re-placed.
+    grid.submit(JobSpec(job_id=1, cpu_demand=1.0, work=30.0))
+    cluster.run_for(10.0)
+    core = grid.scheduler_core()
+    worker = core.records[1].worker
+    if worker is not None and worker != host:
+        cluster.fail_nodes([worker], heal=True)
+    assert grid.run_until_done(timeout=600.0)
+    assert grid.results[1].ok
+    cluster.shutdown()
+
+
+def test_failed_attach_rolls_back_spawned_dependencies():
+    """Regression: with_compute dying mid-attach must not leave the
+    storage/discovery services it spawned wired to the network."""
+    cluster = make_cluster(n=16)
+    cluster.fail_nodes(list(cluster.ids))  # no live host for the scheduler
+    with pytest.raises(RuntimeError):
+        cluster.with_compute()
+    assert [s.name for s in cluster.services] == []
+    for node in cluster.net.nodes.values():
+        assert node.handler_types() == set()
+
+
+def test_anti_entropy_attaches_injected_detached_store():
+    """Regression: the generic add_service path with a new-style (detached)
+    store must wire the store too, not sweep over zero agents."""
+    from repro.storage.antientropy import AntiEntropy
+    from repro.storage.quorum import ReplicatedStore
+
+    cluster = make_cluster()
+    store = ReplicatedStore(quorum=QuorumConfig(n=2, w=1, r=1))
+    cluster.add_service(AntiEntropy(store, interval=5.0))
+    assert store.attached and cluster.storage is store
+    assert store.put("k", 1).ok
+    report = cluster.anti_entropy.sweep()
+    assert report.keys >= 1
+    cluster.shutdown()
+
+
+def test_detach_cascade_spares_shared_dependencies():
+    """Regression: compute detaching must not tear down the storage service
+    it spawned while anti-entropy (another attached service) depends on it."""
+    from repro.storage.antientropy import AntiEntropy
+
+    cluster = make_cluster().with_compute()  # spawns storage + discovery
+    store = cluster.storage
+    cluster.add_service(AntiEntropy(interval=5.0))  # requires 'storage'
+    cluster.compute.close()
+    assert store.attached, "shared dependency must survive its spawner"
+    assert cluster.storage is store
+    assert store.put("k", 1).ok
+    assert cluster.anti_entropy.sweep().keys >= 1  # still sweeping live agents
+    cluster.shutdown()
+
+
+def test_unattached_anti_entropy_fails_loud():
+    from repro.storage.antientropy import AntiEntropy
+    from repro.storage.quorum import ReplicatedStore
+
+    ae = AntiEntropy(interval=5.0)
+    with pytest.raises(ServiceError, match="no attached store"):
+        ae.start()
+    with pytest.raises(ServiceError, match="no attached store"):
+        ae.sweep()
+    with pytest.raises(ServiceError, match="no attached store"):
+        AntiEntropy(ReplicatedStore(), interval=5.0).sweep()
+
+
+def test_legacy_anti_entropy_constructor_warns():
+    from repro.storage.antientropy import AntiEntropy
+    from repro.storage.quorum import ReplicatedStore
+
+    cluster = make_cluster(n=8)
+    with pytest.deprecated_call():
+        store = ReplicatedStore(cluster.net)
+    with pytest.deprecated_call():
+        AntiEntropy(store, interval=5.0)
+
+
+def test_replacement_refused_while_dependents_attached():
+    """Regression: replacing the storage service while anti-entropy/compute
+    still hold the attached instance would leave them driving a detached
+    store (handlers gone, every repair/checkpoint silently failing)."""
+    cluster = (make_cluster()
+               .with_storage(QuorumConfig(n=2, w=1, r=1), anti_entropy=10.0)
+               .with_compute())
+    first = cluster.storage
+    with pytest.raises(ServiceError, match="depend"):
+        cluster.with_storage(QuorumConfig(n=3, w=2, r=2))
+    assert cluster.storage is first and first.attached  # untouched
+    # Detaching the dependents makes the replacement legal again.
+    cluster.compute.close()
+    cluster.anti_entropy.detach()
+    cluster.with_storage(QuorumConfig(n=3, w=2, r=2))
+    assert cluster.storage is not first
+    assert cluster.storage.put("k", 1).ok
+    cluster.shutdown()
+
+
+def test_conflicting_handler_claims_are_refused():
+    """Regression: a second service silently stealing another's message
+    type would black-hole that type once the thief detaches."""
+
+    class Thief(Service):
+        name = "thief"
+
+        def node_handlers(self, node):
+            return {StorePut: lambda src, msg: None}
+
+    cluster = make_cluster(n=8).with_storage()
+    with pytest.raises(ServiceError, match="StorePut"):
+        cluster.add_service(Thief())
+    # Failed attach rolled back cleanly: storage still owns its traffic.
+    assert cluster.service("thief") is None
+    assert cluster.storage.put("k", 1).ok
+    cluster.shutdown()
+
+
+def test_cluster_net_wrap_rejects_conflicting_args():
+    cluster = make_cluster(n=8)
+    with pytest.raises(ValueError, match="existing network"):
+        Cluster(seed=5, net=cluster.net)
+    wrapped = Cluster(net=cluster.net)  # bare wrap is fine
+    assert wrapped.net is cluster.net
+
+
+# ----------------------------------------------------- churn survivability
+def test_storage_survives_churn_driven_through_cluster():
+    """Quorum data stays readable across a 30% churn schedule driven
+    entirely through the Cluster facade (no manual facade plumbing)."""
+    cluster = make_cluster(n=96, seed=23).with_storage(
+        QuorumConfig(n=3, w=2, r=2), anti_entropy=10.0)
+    store, ae = cluster.storage, cluster.anti_entropy
+    keys = [f"k{i}" for i in range(30)]
+    for k in keys:
+        assert store.put(k, k.upper()).ok
+
+    rng = cluster.net.rng.get("cluster-churn")
+    order = [int(v) for v in rng.permutation(cluster.ids)]
+    total, burst = int(0.30 * 96), 6
+    killed = 0
+    while killed < total:
+        step = order[killed:killed + min(burst, total - killed)]
+        killed += len(step)
+        cluster.fail_nodes(step, heal=True)
+        ae.converge()
+
+    alive = cluster.alive_ids()
+    readable = sum(store.get(k, via=alive[i % len(alive)]).found
+                   for i, k in enumerate(keys))
+    assert readable == len(keys)
+    cluster.shutdown()
