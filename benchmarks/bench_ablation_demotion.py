@@ -1,29 +1,11 @@
-"""Ablation bench: demotion policy — strict vs §VI's keep-upper variant.
+"""Ablation bench: demotion policy — strict vs §VI's keep-upper variant,
+measured as upper-layer survival through a child-starvation event.
 
-The paper's future work proposes that "if the node is in level i > 1, it
-maintains its current status even if it doesn't have any children", keeping
-stable, powerful nodes in the upper layers.  Measured: how many upper-layer
-nodes survive a child-starvation event under each policy.
+Thin registration: the scenario (parameter grids, metric schema, checks)
+lives in :mod:`repro.bench.scenarios`; run it standalone with
+``python -m repro.bench run ablation_demotion``.
 """
 
-from conftest import BENCH_SEED
+from conftest import scenario_bench
 
-from repro.experiments.ablations import demotion_policy
-from repro.viz.ascii import table
-
-
-def test_ablation_demotion_policy(benchmark):
-    out = benchmark.pedantic(
-        lambda: demotion_policy(n=256, seed=BENCH_SEED),
-        rounds=1, iterations=1,
-    )
-    print()
-    print(table(
-        ["policy", "upper nodes before", "after starvation", "victims"],
-        [[k, v["upper_nodes_before"], v["upper_nodes_after"], v["victims"]]
-         for k, v in out.items()],
-        title="Demotion policy ablation (protocol mode, n=256)",
-    ))
-    # The keep-upper variant retains at least as many upper-layer nodes.
-    assert (out["keep-upper"]["upper_nodes_after"]
-            >= out["strict"]["upper_nodes_after"])
+test_ablation_demotion = scenario_bench("ablation_demotion")

@@ -1,27 +1,11 @@
-"""Ablation bench: §III.f's TTL-triggered Euclidean fallback on/off.
+"""Ablation bench: §III.f's TTL-triggered Euclidean fallback on/off,
+measured at 50% dead nodes.
 
-"When a node receives a request [with] a TTL greater than the height of the
-hierarchy, the Euclidian distance is used instead" — finer-grained routing
-for disrupted networks.  Measured at 50% dead nodes.
+Thin registration: the scenario (parameter grids, metric schema, checks)
+lives in :mod:`repro.bench.scenarios`; run it standalone with
+``python -m repro.bench run ablation_fallback``.
 """
 
-from conftest import BENCH_SEED
+from conftest import scenario_bench
 
-from repro.experiments.ablations import euclidean_fallback
-from repro.viz.ascii import table
-
-
-def test_ablation_euclidean_fallback(benchmark):
-    out = benchmark.pedantic(
-        lambda: euclidean_fallback(n=512, seed=BENCH_SEED, lookups=200),
-        rounds=1, iterations=1,
-    )
-    print()
-    print(table(
-        ["mode", "success rate", "avg hops"],
-        [[k, v["success_rate"], v["avg_hops"]] for k, v in out.items()],
-        title="Euclidean-fallback ablation at 50% dead (n=512, case 1)",
-    ))
-    # The fallback must not hurt success under disruption.
-    assert (out["fallback-on"]["success_rate"]
-            >= out["fallback-off"]["success_rate"] - 0.05)
+test_ablation_fallback = scenario_bench("ablation_fallback")

@@ -1,31 +1,13 @@
 """Ablation bench: ID assignment strategy (random / hash / balanced).
 
-§III offers random IDs, hashes of IP/port, and "a preliminary search for an
-ID range … allowing the system to maintain a balanced tree" (§VI asks for
-the evaluation).  Measured: tree height, cell-size spread, hop count.
+§III offers random IDs, hashes of IP/port, and a preliminary balanced
+search (§VI asks for the evaluation).
+
+Thin registration: the scenario (parameter grids, metric schema, checks)
+lives in :mod:`repro.bench.scenarios`; run it standalone with
+``python -m repro.bench run ablation_ids``.
 """
 
-from conftest import BENCH_SEED
+from conftest import scenario_bench
 
-from repro.experiments.ablations import id_assignment
-from repro.viz.ascii import table
-
-
-def test_ablation_id_assignment(benchmark):
-    out = benchmark.pedantic(
-        lambda: id_assignment(n=512, seed=BENCH_SEED, lookups=200),
-        rounds=1, iterations=1,
-    )
-    print()
-    print(table(
-        ["strategy", "height", "avg children", "cell-size std", "avg hops", "success"],
-        [[k, v["height"], v["avg_children"], v["cell_size_std"],
-          v["avg_hops"], v["success_rate"]] for k, v in out.items()],
-        title="ID assignment ablation (n=512, case 1)",
-    ))
-    # Balanced IDs give the most even tessellation.
-    assert out["balanced"]["cell_size_std"] <= out["random"]["cell_size_std"] + 0.25
-    # Hash ~ random statistically.
-    assert abs(out["hash"]["height"] - out["random"]["height"]) <= 1
-    for row in out.values():
-        assert row["success_rate"] >= 0.95
+test_ablation_ids = scenario_bench("ablation_ids")

@@ -1,47 +1,11 @@
-"""Ablation bench: maintenance cost — keep-alive interval vs control traffic,
-and which repair mechanism buys how much resilience.
+"""Ablation bench: maintenance cost — keep-alive interval vs control
+traffic, plus which repair mechanism buys how much resilience (§III.d).
 
-§III.d claims maintenance "minimizes the data exchange between the nodes";
-this bench quantifies the control-plane cost per node per second in
-protocol mode, and the resilience value of each healing mechanism
-(purge-only / lateral / full adoption) in converged mode.
+Thin registration: the scenario (parameter grids, metric schema, checks)
+lives in :mod:`repro.bench.scenarios`; run it standalone with
+``python -m repro.bench run ablation_maintenance``.
 """
 
-from conftest import BENCH_SEED
+from conftest import scenario_bench
 
-from repro.experiments.ablations import maintenance_interval, repair_mechanisms
-from repro.viz.ascii import table
-
-
-def test_ablation_maintenance_interval(benchmark):
-    out = benchmark.pedantic(
-        lambda: maintenance_interval(n=128, seed=BENCH_SEED, horizon=60.0),
-        rounds=1, iterations=1,
-    )
-    print()
-    print(table(
-        ["keepalive interval (s)", "msgs/node/s", "bytes/node/s"],
-        [[k, v["messages_per_node_per_s"], v["bytes_per_node_per_s"]]
-         for k, v in sorted(out.items())],
-        title="Maintenance overhead vs keep-alive interval (protocol mode, n=128)",
-    ))
-    costs = [out[i]["messages_per_node_per_s"] for i in sorted(out)]
-    assert costs == sorted(costs, reverse=True)
-    # The paper's low-overhead claim: even at 2 s keep-alives, a node sends
-    # only a handful of datagrams per second.
-    assert costs[0] < 10.0
-
-
-def test_ablation_repair_mechanisms(benchmark):
-    out = benchmark.pedantic(
-        lambda: repair_mechanisms(n=512, seed=BENCH_SEED, lookups=200),
-        rounds=1, iterations=1,
-    )
-    print()
-    print(table(
-        ["policy", "success rate @30% dead", "avg hops"],
-        [[k, v["success_rate"], v["avg_hops"]] for k, v in out.items()],
-        title="Repair-mechanism ablation at 30% dead (n=512, case 1)",
-    ))
-    assert (out["purge-only"]["success_rate"]
-            <= out["full adoption"]["success_rate"] + 0.05)
+test_ablation_maintenance = scenario_bench("ablation_maintenance")

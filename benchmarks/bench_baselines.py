@@ -1,96 +1,11 @@
-"""Bench: TreeP vs Chord vs flooding — the §I/§II positioning, measured.
+"""Bench: TreeP vs Chord vs flooding — the §I/§II positioning, measured
+on the same simulated substrate.
 
-Rows printed per overlay: steady-state success rate, average hops, messages
-per lookup, and success at 30% dead nodes.  Expectations: flooding pays
-orders of magnitude more messages; TreeP and Chord both route in O(log n);
-TreeP stays functional under failures with only lateral healing.
+Thin registration: the scenario (parameter grids, metric schema, checks)
+lives in :mod:`repro.bench.scenarios`; run it standalone with
+``python -m repro.bench run baselines``.
 """
 
-import numpy as np
-from conftest import BENCH_N, BENCH_SEED
+from conftest import scenario_bench
 
-from repro import TreePConfig, TreePNetwork
-from repro.baselines import ChordNetwork, FloodNetwork
-from repro.core.repair import PAPER_POLICY, apply_failure_step
-from repro.viz.ascii import table
-
-LOOKUPS = 200
-
-
-def _pairs(rng, population, count):
-    pop = list(population)
-    out = []
-    while len(out) < count:
-        o, t = (int(x) for x in rng.choice(pop, 2, replace=False))
-        out.append((o, t))
-    return out
-
-
-def run_comparison():
-    rng = np.random.default_rng(BENCH_SEED)
-    rows = []
-
-    treep = TreePNetwork(config=TreePConfig.paper_case1(), seed=BENCH_SEED)
-    treep.build(BENCH_N)
-    m0 = treep.network.stats.sent
-    healthy = treep.run_lookup_batch(_pairs(rng, treep.ids, LOOKUPS), "G")
-    msgs = (treep.network.stats.sent - m0) / LOOKUPS
-    victims = [int(v) for v in rng.choice(treep.ids, int(0.3 * BENCH_N), replace=False)]
-    treep.fail_nodes(victims)
-    apply_failure_step(treep, victims, PAPER_POLICY)
-    failed = treep.run_lookup_batch(_pairs(rng, treep.alive_ids(), LOOKUPS), "G")
-    rows.append(("TreeP (G)", healthy, failed, msgs))
-
-    chord = ChordNetwork(seed=BENCH_SEED)
-    chord.build(BENCH_N)
-    m0 = chord.network.stats.sent
-    healthy = chord.run_lookup_batch(_pairs(rng, chord.ids, LOOKUPS))
-    msgs = (chord.network.stats.sent - m0) / LOOKUPS
-    victims = [int(v) for v in rng.choice(chord.ids, int(0.3 * BENCH_N), replace=False)]
-    chord.fail_nodes(victims)
-    chord.repair_step()
-    failed = chord.run_lookup_batch(_pairs(rng, chord.alive_ids(), LOOKUPS))
-    rows.append(("Chord", healthy, failed, msgs))
-
-    flood = FloodNetwork(seed=BENCH_SEED, degree=4, default_ttl=7)
-    flood.build(BENCH_N)
-    m0 = flood.network.stats.sent
-    healthy = flood.run_lookup_batch(_pairs(rng, flood.ids, 50))
-    msgs = (flood.network.stats.sent - m0) / 50
-    victims = [int(v) for v in rng.choice(flood.ids, int(0.3 * BENCH_N), replace=False)]
-    flood.fail_nodes(victims)
-    flood.repair_step()
-    failed = flood.run_lookup_batch(_pairs(rng, flood.alive_ids(), 50))
-    rows.append(("Flooding", healthy, failed, msgs))
-
-    out = {}
-    for name, healthy, failed_batch, msgs in rows:
-        ok = [r for r in healthy if r.found]
-        okf = [r for r in failed_batch if r.found]
-        out[name] = dict(
-            success=100 * len(ok) / len(healthy),
-            hops=float(np.mean([r.hops for r in ok])) if ok else 0.0,
-            msgs_per_lookup=float(msgs),
-            success_30pct_dead=100 * len(okf) / len(failed_batch),
-        )
-    return out
-
-
-def test_baseline_comparison(benchmark):
-    out = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
-    print()
-    print(table(
-        ["overlay", "success%", "hops", "msgs/lookup", "success%@30%dead"],
-        [[k, v["success"], v["hops"], v["msgs_per_lookup"],
-          v["success_30pct_dead"]] for k, v in out.items()],
-        title=f"TreeP vs baselines (n={BENCH_N})",
-    ))
-    assert out["TreeP (G)"]["success"] >= 99.0
-    assert out["Chord"]["success"] >= 99.0
-    # The scalability contrast the paper leads with:
-    assert out["Flooding"]["msgs_per_lookup"] > 20 * out["TreeP (G)"]["msgs_per_lookup"]
-    # Log-n routing for the structured overlays.
-    assert out["TreeP (G)"]["hops"] <= 2 * np.log2(BENCH_N)
-    assert out["Chord"]["hops"] <= 2 * np.log2(BENCH_N)
-    # Failure resilience within the paper's band.
-    assert out["TreeP (G)"]["success_30pct_dead"] >= 70.0
+test_baselines = scenario_bench("baselines")

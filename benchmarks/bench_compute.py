@@ -1,156 +1,11 @@
-"""Grid-compute benchmarks: scheduling under burst churn, checkpointing on
-vs off.
+"""Grid-compute benchmarks: scheduling under 30% burst churn, with the
+checkpointing-vs-restart wasted-work comparison.
 
-The subsystem's acceptance scenario: a mixed job stream (Poisson arrivals,
-heterogeneous demands, a layered DAG batch) runs while a seeded
-:class:`~repro.workloads.churn.ChurnSchedule` kills 30% of the population
-in bursts.  Between bursts the overlay heals, anti-entropy re-replicates,
-and the scheduler fails over if its host died.  The invariants:
-
-* with checkpointed re-execution, **100%** of submitted jobs complete, and
-* checkpointing reports **strictly less wasted work** than the
-  restart-from-scratch ablation on the identical seed.
-
-Besides the pytest-benchmark timings, the run writes its scheduling
-metrics to ``benchmarks/out/bench_compute.json`` so CI can archive the
-numbers as a workflow artifact.
+Thin registration: the scenario (parameter grids, metric schema, checks)
+lives in :mod:`repro.bench.scenarios`; run it standalone with
+``python -m repro.bench run compute``.
 """
 
-import json
-import os
+from conftest import scenario_bench
 
-from conftest import BENCH_SEED
-
-from repro import Cluster, ComputeConfig, QuorumConfig, TreePConfig
-from repro.viz.ascii import table
-from repro.workloads import ChurnSchedule, JobWorkload
-from repro.workloads.churn import ChurnEvent
-
-N_NODES = 96
-N_STREAM_JOBS = 24
-DAG_LAYERS = (3, 4, 2, 1)
-KILL_FRACTION = 0.30
-BURST = 6
-BURST_SPACING = 15.0
-DEADLINE = 1500.0
-
-OUT_PATH = os.path.join(os.path.dirname(__file__), "out", "bench_compute.json")
-
-
-def burst_churn_schedule(net):
-    """Seeded timed leave events killing KILL_FRACTION in bursts."""
-    rng = net.rng.get("bench-compute-churn")
-    order = [int(v) for v in rng.permutation(net.ids)]
-    total = int(round(KILL_FRACTION * len(net.ids)))
-    events = [
-        ChurnEvent(time=BURST_SPACING * (1 + i // BURST), kind="leave",
-                   node=order[i])
-        for i in range(total)
-    ]
-    return ChurnSchedule(events=events)
-
-
-def run_scenario(checkpointing: bool, seed: int = BENCH_SEED):
-    """One full run; returns (all_done, SchedulingStats, alive count)."""
-    cluster = (Cluster(config=TreePConfig.paper_case1(), seed=seed)
-               .build(N_NODES)
-               .with_storage(QuorumConfig(n=3, w=2, r=2), anti_entropy=10.0)
-               .with_compute(ComputeConfig(
-                   checkpoint_interval=8.0 if checkpointing else None)))
-    net, grid, ae = cluster.net, cluster.compute, cluster.anti_entropy
-
-    wl = JobWorkload(rng=net.rng.get("bench-compute-jobs"),
-                     arrival_rate=1.0, work_mean=150.0, work_sigma=0.4,
-                     constrained_fraction=0.25)
-    specs = wl.jobs(N_STREAM_JOBS) + wl.dag_batch(DAG_LAYERS, work=60.0)
-    grid.schedule_submissions(specs)
-
-    # Replay the churn schedule burst by burst, healing in between —
-    # exactly the storage bench's driver shape, plus scheduler failover.
-    # (Aggregate refresh is owned by the directory service: the leave
-    # callbacks mark it stale and the next matchmaking query resyncs.)
-    pending = list(burst_churn_schedule(net))
-    while pending:
-        t = pending[0].time
-        burst = [e for e in pending if e.time == t]
-        pending = pending[len(burst):]
-        if net.sim.now < t:
-            net.sim.run(until=t)
-        victims = [e.node for e in burst if e.kind == "leave"]
-        cluster.fail_nodes(victims, heal=True)
-        ae.converge()
-        grid.ensure_scheduler()
-
-    done = grid.run_until_done(timeout=DEADLINE)
-    stats = grid.stats()
-    alive = len(net.alive_ids())
-    cluster.shutdown()
-    return done, stats, alive
-
-
-def test_compute_under_30pct_burst_churn(benchmark):
-    """Acceptance: 100% completion with checkpointing; strictly less wasted
-    work than the restart-from-scratch ablation."""
-    results = {}
-
-    def run_both():
-        results["checkpoint"] = run_scenario(checkpointing=True)
-        results["restart"] = run_scenario(checkpointing=False)
-        return results
-
-    benchmark.pedantic(run_both, rounds=1, iterations=1)
-
-    done_ck, stats_ck, alive = results["checkpoint"]
-    done_rs, stats_rs, _ = results["restart"]
-
-    print()
-    rows = [["population / alive", f"{N_NODES} / {alive}"]]
-    for label, stats in (("checkpoint", stats_ck), ("restart", stats_rs)):
-        for name, value in stats.summary_rows():
-            rows.append([f"{label}: {name}", value])
-    print(table(["metric", "value"],
-                rows, title="grid jobs under 30% burst churn"))
-
-    os.makedirs(os.path.dirname(OUT_PATH), exist_ok=True)
-    with open(OUT_PATH, "w") as fh:
-        json.dump({
-            "scenario": {
-                "nodes": N_NODES, "kill_fraction": KILL_FRACTION,
-                "burst": BURST, "jobs": N_STREAM_JOBS + sum(DAG_LAYERS),
-            },
-            "checkpoint": stats_ck.to_dict(),
-            "restart": stats_rs.to_dict(),
-        }, fh, indent=2)
-
-    # -------- acceptance criteria --------
-    assert done_ck, "checkpointing run did not finish every job"
-    assert stats_ck.completion_rate == 1.0
-    assert stats_ck.reexecutions > 0, "churn never killed a worker: scenario too mild"
-    assert stats_ck.checkpoints_written > 0
-    assert stats_ck.wasted_work < stats_rs.wasted_work, (
-        f"checkpointing must strictly reduce wasted work "
-        f"({stats_ck.wasted_work:.1f} vs {stats_rs.wasted_work:.1f})")
-
-
-def test_steady_state_throughput(benchmark):
-    """No churn: dispatch → heartbeat → complete cost for a job batch."""
-    cluster = (Cluster(config=TreePConfig.paper_case1(), seed=BENCH_SEED + 7)
-               .build(N_NODES).with_compute())
-    net, grid = cluster.net, cluster.compute
-    wl = JobWorkload(rng=net.rng.get("bench-steady"), arrival_rate=2.0,
-                     work_mean=15.0, constrained_fraction=0.0)
-
-    def run_batch():
-        specs = wl.jobs(20, start=net.sim.now)
-        grid.schedule_submissions(specs)
-        assert grid.run_until_done(timeout=400.0)
-        return len(specs)
-
-    benchmark.pedantic(run_batch, rounds=2, iterations=1)
-    stats = grid.stats()
-    cluster.shutdown()
-    print()
-    print(table(["metric", "value"], stats.summary_rows(),
-                title=f"steady-state scheduling (n={N_NODES})"))
-    assert stats.completion_rate == 1.0
-    assert stats.goodput > 0.99  # nothing should be re-run without churn
+test_compute = scenario_bench("compute")

@@ -1,67 +1,12 @@
 """Core micro-benchmarks: build throughput, lookup latency, table sizes.
 
-Not a paper figure — engineering numbers a downstream user wants: how long
-does it take to assemble a steady-state overlay, how fast are simulated
-lookups, and do routing-table sizes obey §III.e.
+Not a paper figure — engineering numbers a downstream user wants.
+
+Thin registration: the scenario (parameter grids, metric schema, checks)
+lives in :mod:`repro.bench.scenarios`; run it standalone with
+``python -m repro.bench run core``.
 """
 
-import numpy as np
-from conftest import BENCH_N, BENCH_SEED
+from conftest import scenario_bench
 
-from repro import TreePConfig, TreePNetwork
-from repro.viz.ascii import table
-
-
-def test_build_steady_state(benchmark):
-    def build():
-        net = TreePNetwork(config=TreePConfig.paper_case1(), seed=BENCH_SEED)
-        net.build(BENCH_N)
-        return net
-
-    net = benchmark(build)
-    assert len(net.nodes) == BENCH_N
-    assert net.height >= 4
-
-
-def test_lookup_throughput(benchmark):
-    net = TreePNetwork(config=TreePConfig.paper_case1(), seed=BENCH_SEED)
-    net.build(BENCH_N)
-    rng = np.random.default_rng(0)
-    pairs = [tuple(int(x) for x in rng.choice(net.ids, 2, replace=False))
-             for _ in range(100)]
-
-    results = benchmark.pedantic(
-        lambda: net.run_lookup_batch(pairs, "G"), rounds=3, iterations=1
-    )
-    # Greedy is not guaranteed loop-free/complete even on a healthy
-    # topology (paper Fig. 4); allow the occasional dead end.
-    assert sum(r.found for r in results) >= 98
-
-
-def test_routing_table_bounds(benchmark):
-    """§III.e: leaf nodes keep tiny tables; every table is far from O(n)."""
-    def build_and_measure():
-        net = TreePNetwork(config=TreePConfig.paper_case1(), seed=BENCH_SEED)
-        net.build(BENCH_N)
-        sizes = net.routing_table_sizes()
-        conns = net.active_connection_counts()
-        leaf_sizes = [sizes[i] for i, nd in net.nodes.items() if nd.max_level == 0]
-        return sizes, conns, leaf_sizes
-
-    sizes, conns, leaf_sizes = benchmark.pedantic(build_and_measure,
-                                                  rounds=1, iterations=1)
-    print()
-    print(table(
-        ["metric", "mean", "max"],
-        [
-            ["routing table entries (all)", float(np.mean(list(sizes.values()))),
-             max(sizes.values())],
-            ["routing table entries (leaves)", float(np.mean(leaf_sizes)),
-             max(leaf_sizes)],
-            ["active connections", float(np.mean(list(conns.values()))),
-             max(conns.values())],
-        ],
-        title=f"§III.e table-size check (n={BENCH_N})",
-    ))
-    assert np.mean(leaf_sizes) < 15
-    assert max(sizes.values()) < BENCH_N // 8
+test_core = scenario_bench("core")

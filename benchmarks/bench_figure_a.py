@@ -2,26 +2,12 @@
 
 Paper targets (§IV.a): ~10% failed lookups at 30% dead, 25-30% at 50%;
 G / NG / NGSA within a few % of each other.
+
+Thin registration: the scenario (parameter grids, metric schema, checks)
+lives in :mod:`repro.bench.scenarios`; run it standalone with
+``python -m repro.bench run figure_a``.
 """
 
-from conftest import BENCH_LOOKUPS, BENCH_N, BENCH_SEED
+from conftest import scenario_bench
 
-from repro.experiments import figure_a
-
-
-def test_figure_a(benchmark):
-    series = benchmark.pedantic(
-        lambda: figure_a.run(n=BENCH_N, seed=BENCH_SEED,
-                             lookups_per_step=BENCH_LOOKUPS),
-        rounds=1, iterations=1,
-    )
-    print()
-    print(figure_a.render(n=BENCH_N, seed=BENCH_SEED,
-                          lookups_per_step=BENCH_LOOKUPS))
-    # Shape assertions: robust at 30% dead, degrading by 80%.
-    g = series["G"]
-    assert g.interp(30.0) <= 25.0, "too fragile at 30% dead"
-    assert g.interp(80.0) >= g.interp(20.0), "failure curve must grow"
-    # The three algorithms stay in one family band.
-    at30 = [series[a].interp(30.0) for a in ("G", "NG", "NGSA")]
-    assert max(at30) - min(at30) <= 15.0
+test_figure_a = scenario_bench("figure_a")

@@ -2,27 +2,12 @@
 
 Paper target (§IV.a): the average hop count is roughly independent of the
 failure rate (~5 hops) until the network fragments around 70%.
+
+Thin registration: the scenario (parameter grids, metric schema, checks)
+lives in :mod:`repro.bench.scenarios`; run it standalone with
+``python -m repro.bench run figure_b``.
 """
 
-import numpy as np
-from conftest import BENCH_LOOKUPS, BENCH_N, BENCH_SEED
+from conftest import scenario_bench
 
-from repro.experiments import figure_b
-
-
-def test_figure_b(benchmark):
-    series = benchmark.pedantic(
-        lambda: figure_b.run(n=BENCH_N, seed=BENCH_SEED,
-                             lookups_per_step=BENCH_LOOKUPS),
-        rounds=1, iterations=1,
-    )
-    print()
-    print(figure_b.render(n=BENCH_N, seed=BENCH_SEED,
-                          lookups_per_step=BENCH_LOOKUPS))
-    g = series["G"]
-    # Log-scale hop count at steady state...
-    assert 2.0 <= g.ys()[0] <= 12.0
-    # ...and flat through the first half of the sweep (paper: "independent
-    # of the rate of failed nodes").
-    first_half = g.ys()[: len(g) // 2]
-    assert float(np.max(first_half) - np.min(first_half)) <= 4.0
+test_figure_b = scenario_bench("figure_b")

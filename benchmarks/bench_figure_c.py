@@ -2,22 +2,12 @@
 
 Paper target (§IV.b): same family shape as Figure A under variable ``nc``;
 performance notably affected once ~40% of nodes are disconnected.
+
+Thin registration: the scenario (parameter grids, metric schema, checks)
+lives in :mod:`repro.bench.scenarios`; run it standalone with
+``python -m repro.bench run figure_c``.
 """
 
-from conftest import BENCH_LOOKUPS, BENCH_N, BENCH_SEED
+from conftest import scenario_bench
 
-from repro.experiments import figure_c
-
-
-def test_figure_c(benchmark):
-    series = benchmark.pedantic(
-        lambda: figure_c.run(n=BENCH_N, seed=BENCH_SEED,
-                             lookups_per_step=BENCH_LOOKUPS),
-        rounds=1, iterations=1,
-    )
-    print()
-    print(figure_c.render(n=BENCH_N, seed=BENCH_SEED,
-                          lookups_per_step=BENCH_LOOKUPS))
-    g = series["G"]
-    assert g.interp(30.0) <= 25.0
-    assert g.interp(80.0) >= g.interp(20.0)
+test_figure_c = scenario_bench("figure_c")

@@ -1,30 +1,13 @@
 """Bench: regenerate Figure D — average hops, fixed vs variable ``nc``.
 
 Paper targets (§IV.b): the variable-nc hierarchy is flatter, so it needs no
-more hops at low failure rates; its hop count *depends* on the failure rate,
-with the divergence becoming important beyond ~30% dead nodes.
+more hops at low failure rates; its hop count *depends* on the failure rate.
+
+Thin registration: the scenario (parameter grids, metric schema, checks)
+lives in :mod:`repro.bench.scenarios`; run it standalone with
+``python -m repro.bench run figure_d``.
 """
 
-import numpy as np
-from conftest import BENCH_LOOKUPS, BENCH_N, BENCH_SEED
+from conftest import scenario_bench
 
-from repro.experiments import figure_d
-
-
-def test_figure_d(benchmark):
-    series = benchmark.pedantic(
-        lambda: figure_d.run(n=BENCH_N, seed=BENCH_SEED,
-                             lookups_per_step=BENCH_LOOKUPS),
-        rounds=1, iterations=1,
-    )
-    print()
-    print(figure_d.render(n=BENCH_N, seed=BENCH_SEED,
-                          lookups_per_step=BENCH_LOOKUPS))
-    fixed, variable = series["fixed nc=4"], series["variable nc"]
-    # Flatter hierarchy -> no more hops at the start of the sweep.
-    assert variable.interp(10.0) <= fixed.interp(10.0) + 1.0
-    # Variable-nc hop count moves with the failure rate more than fixed
-    # (paper: "the average number of hops depends [on] the number of nodes
-    # that have been removed").
-    var_spread = float(np.ptp(variable.ys()[: len(variable) * 3 // 4]))
-    assert var_spread >= 0.5
+test_figure_d = scenario_bench("figure_d")

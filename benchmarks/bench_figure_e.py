@@ -1,29 +1,13 @@
 """Bench: regenerate Figure E — max/min hops of failed lookups (case 1).
 
 Paper target (§IV.a): the max failed-hop count jumps once the network
-splits into isolated sub-networks (~35% dead in the authors' run): doomed
-requests wander far before the TTL/dead-end backstop, while the minimum
-stays near zero throughout.
+splits into isolated sub-networks; the minimum stays near zero.
+
+Thin registration: the scenario (parameter grids, metric schema, checks)
+lives in :mod:`repro.bench.scenarios`; run it standalone with
+``python -m repro.bench run figure_e``.
 """
 
-import numpy as np
-from conftest import BENCH_LOOKUPS, BENCH_N, BENCH_SEED
+from conftest import scenario_bench
 
-from repro.experiments import figure_e
-
-
-def test_figure_e(benchmark):
-    series = benchmark.pedantic(
-        lambda: figure_e.run(n=BENCH_N, seed=BENCH_SEED,
-                             lookups_per_step=BENCH_LOOKUPS),
-        rounds=1, iterations=1,
-    )
-    print()
-    print(figure_e.render(n=BENCH_N, seed=BENCH_SEED,
-                          lookups_per_step=BENCH_LOOKUPS))
-    smax, smin = series["max"], series["min"]
-    assert smax.max_y() <= 256  # TTL backstop
-    assert all(a >= b for a, b in zip(smax.ys(), smin.ys()))
-    # The max grows well beyond the steady-state hop count somewhere in
-    # the sweep — the wandering-request signature.
-    assert smax.max_y() >= 10.0
+test_figure_e = scenario_bench("figure_e")

@@ -2,27 +2,12 @@
 
 Paper targets (§IV.a): the ridge sits at ~5 hops independent of the failure
 level; ~50% of requests resolve in <= 4 hops for G.
+
+Thin registration: the scenario (parameter grids, metric schema, checks)
+lives in :mod:`repro.bench.scenarios`; run it standalone with
+``python -m repro.bench run figure_f``.
 """
 
-from conftest import BENCH_LOOKUPS, BENCH_N, BENCH_SEED
+from conftest import scenario_bench
 
-from repro.experiments import figure_fg
-from repro.viz.ascii import surface_table
-
-
-def test_figure_f(benchmark):
-    surfaces = benchmark.pedantic(
-        lambda: figure_fg.run(n=BENCH_N, seed=BENCH_SEED,
-                              lookups_per_step=BENCH_LOOKUPS),
-        rounds=1, iterations=1,
-    )
-    surf = surfaces["F"]
-    print()
-    print(surface_table(surf.failed_percent, surf.percent_rows,
-                        title=f"Figure F — case 1, algorithm G, n={BENCH_N}"))
-    ridge = surf.ridge_hops()
-    early = ridge[: len(ridge) // 2]
-    assert max(early) - min(early) <= 4, "ridge must stay near-constant"
-    assert 2 <= ridge[0] <= 10
-    peak_hops, peak_pct = surf.peak()
-    assert peak_pct >= 15.0
+test_figure_f = scenario_bench("figure_f")

@@ -1,29 +1,13 @@
 """Bench: regenerate Figure H — hop-distribution surface, case 2, greedy.
 
-Paper targets (§IV.b): with variable ``nc`` the distribution is steeper,
-peaking around 5 hops with ~60% of requests — the flattened hierarchy
-concentrates path lengths.
+Paper targets (§IV.b): with variable ``nc`` the distribution is steeper —
+the flattened hierarchy concentrates path lengths.
+
+Thin registration: the scenario (parameter grids, metric schema, checks)
+lives in :mod:`repro.bench.scenarios`; run it standalone with
+``python -m repro.bench run figure_h``.
 """
 
-from conftest import BENCH_LOOKUPS, BENCH_N, BENCH_SEED
+from conftest import scenario_bench
 
-from repro.experiments import figure_fg, figure_hi
-from repro.viz.ascii import surface_table
-
-
-def test_figure_h(benchmark):
-    surfaces = benchmark.pedantic(
-        lambda: figure_hi.run(n=BENCH_N, seed=BENCH_SEED,
-                              lookups_per_step=BENCH_LOOKUPS),
-        rounds=1, iterations=1,
-    )
-    surf = surfaces["H"]
-    print()
-    print(surface_table(surf.failed_percent, surf.percent_rows,
-                        title=f"Figure H — case 2 (variable nc), algorithm G, n={BENCH_N}"))
-    ridge = surf.ridge_hops()
-    assert 1 <= ridge[0] <= 8
-    # Steeper than case 1: the peak percentage is at least as high.
-    case1 = figure_fg.run(n=BENCH_N, seed=BENCH_SEED,
-                          lookups_per_step=BENCH_LOOKUPS)["F"]
-    assert surf.peak()[1] >= case1.peak()[1] - 8.0
+test_figure_h = scenario_bench("figure_h")

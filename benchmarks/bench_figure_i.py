@@ -1,29 +1,13 @@
 """Bench: regenerate Figure I — hop-distribution surface, case 2, NG.
 
-Paper target (§IV.b): both case-2 surfaces peak sharply near 5 hops
-(~60% of requests in the authors' run), NG mirroring G.
+Paper target (§IV.b): both case-2 surfaces peak sharply near 5 hops,
+NG mirroring G.
+
+Thin registration: the scenario (parameter grids, metric schema, checks)
+lives in :mod:`repro.bench.scenarios`; run it standalone with
+``python -m repro.bench run figure_i``.
 """
 
-from conftest import BENCH_LOOKUPS, BENCH_N, BENCH_SEED
+from conftest import scenario_bench
 
-from repro.experiments import figure_hi
-from repro.viz.ascii import surface_table
-
-
-def test_figure_i(benchmark):
-    surfaces = benchmark.pedantic(
-        lambda: figure_hi.run(n=BENCH_N, seed=BENCH_SEED,
-                              lookups_per_step=BENCH_LOOKUPS),
-        rounds=1, iterations=1,
-    )
-    surf = surfaces["I"]
-    print()
-    print(surface_table(surf.failed_percent, surf.percent_rows,
-                        title=f"Figure I — case 2 (variable nc), algorithm NG, n={BENCH_N}"))
-    ridge = surf.ridge_hops()
-    assert 1 <= ridge[0] <= 8
-    # NG's case-2 surface stays in the same family as G's (paper shows
-    # near-identical shapes).
-    g_peak = surfaces["H"].peak()
-    ng_peak = surf.peak()
-    assert abs(g_peak[0] - ng_peak[0]) <= 4
+test_figure_i = scenario_bench("figure_i")

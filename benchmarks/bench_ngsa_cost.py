@@ -1,32 +1,11 @@
-"""Bench: §IV.a's NGSA bandwidth verdict.
+"""Bench: §IV.a's NGSA bandwidth verdict — success, hops, messages and
+*bytes* per lookup at 30% dead nodes.
 
-Paper claim: NGSA does not perform much better than NG or G, and the gain
-"compared to its cost in terms of bandwidth makes it less attractive".
-Measured: success, hops, messages and *bytes* per lookup at 30% dead nodes
-(NGSA's overhead rides inside the request payload, not in extra packets).
+Thin registration: the scenario (parameter grids, metric schema, checks)
+lives in :mod:`repro.bench.scenarios`; run it standalone with
+``python -m repro.bench run ngsa_cost``.
 """
 
-from conftest import BENCH_N, BENCH_SEED
+from conftest import scenario_bench
 
-from repro.experiments import ngsa_cost
-
-
-def test_ngsa_cost_benefit(benchmark):
-    out = benchmark.pedantic(
-        lambda: ngsa_cost.run(n=BENCH_N, seed=BENCH_SEED, lookups=300,
-                              dead_fraction=0.30),
-        rounds=1, iterations=1,
-    )
-    print()
-    print(ngsa_cost.render(n=BENCH_N, seed=BENCH_SEED, lookups=300,
-                           dead_fraction=0.30))
-    g, ng, ngsa = out["G"], out["NG"], out["NGSA"]
-    # NGSA's success gain over NG is marginal...
-    assert ngsa.success_rate <= ng.success_rate + 0.05
-    # ...while each of its request bytes costs more than NG's.
-    ngsa_byte_per_msg = ngsa.bytes_per_lookup / max(ngsa.messages_per_lookup, 1e-9)
-    ng_byte_per_msg = ng.bytes_per_lookup / max(ng.messages_per_lookup, 1e-9)
-    assert ngsa_byte_per_msg > ng_byte_per_msg
-    # All three resolve the large majority at 30% dead (Fig. A regime).
-    for c in out.values():
-        assert c.success_rate >= 0.7
+test_ngsa_cost = scenario_bench("ngsa_cost")

@@ -1,148 +1,11 @@
 """Replicated-storage benchmarks: quorum throughput, anti-entropy cost,
-durability under churn.
+and 100% durability under 30% burst churn (N=3, W=2, R=2).
 
-Engineering numbers for the storage subsystem (not a paper figure):
-
-* quorum PUT / GET throughput through the simulated overlay,
-* what one anti-entropy sweep costs (wall time + repair datagrams) after a
-  mass failure,
-* and the headline durability scenario the subsystem exists for: a seeded
-  churn schedule kills 30% of the population in bursts; with N=3, W=2, R=2
-  and anti-entropy between bursts the store must keep 100% of its keys
-  quorum-readable.
-
-Everything is wired through the 1.3.0 `Cluster` facade (build → storage →
-anti-entropy); the metrics are the subsystem's acceptance record and must
-stay no worse than their pre-facade values.
+Thin registration: the scenario (parameter grids, metric schema, checks)
+lives in :mod:`repro.bench.scenarios`; run it standalone with
+``python -m repro.bench run storage``.
 """
 
-import numpy as np
-from conftest import BENCH_SEED
+from conftest import scenario_bench
 
-from repro import Cluster, QuorumConfig, TreePConfig
-from repro.viz.ascii import table
-
-STORE_N = 256  # population: storage ops drain the sim per request
-N_KEYS = 120
-
-
-def _loaded_cluster(seed=BENCH_SEED, n=STORE_N, quorum=None, anti_entropy=30.0):
-    cluster = (Cluster(config=TreePConfig.paper_case1(), seed=seed)
-               .build(n)
-               .with_storage(quorum or QuorumConfig(n=3, w=2, r=2),
-                             anti_entropy=anti_entropy))
-    store = cluster.storage
-    for i in range(N_KEYS):
-        assert store.put(f"bench/{i:04d}", {"i": i}).ok
-    return cluster
-
-
-def _loaded_store(seed=BENCH_SEED, n=STORE_N, quorum=None):
-    cluster = _loaded_cluster(seed=seed, n=n, quorum=quorum)
-    return cluster.net, cluster.storage
-
-
-def test_quorum_put_throughput(benchmark):
-    net, store = _loaded_store()
-    counter = iter(range(10**9))
-
-    def put_batch():
-        base = next(counter) * 50
-        for i in range(50):
-            r = store.put(f"put/{base + i:06d}", i)
-            assert r.ok
-        return 50
-
-    benchmark.pedantic(put_batch, rounds=3, iterations=1)
-
-
-def test_quorum_get_throughput(benchmark):
-    net, store = _loaded_store()
-    rng = np.random.default_rng(0)
-
-    def get_batch():
-        hits = 0
-        for i in rng.integers(0, N_KEYS, size=50):
-            hits += store.get(f"bench/{int(i):04d}").found
-        assert hits == 50
-        return hits
-
-    benchmark.pedantic(get_batch, rounds=3, iterations=1)
-
-
-def test_antientropy_sweep_cost(benchmark):
-    """Cost of detect+repair after 20% of the population dies at once."""
-    cluster = _loaded_cluster()
-    net, store, ae = cluster.net, cluster.storage, cluster.anti_entropy
-    rng = np.random.default_rng(1)
-    victims = [int(v) for v in rng.choice(net.ids, STORE_N // 5, replace=False)]
-    cluster.fail_nodes(victims, heal=True)
-    net.network.reset_stats()
-
-    first = {}
-
-    def sweep_once():
-        report = ae.sweep()
-        net.sim.drain()
-        if not first:
-            first.update(under=report.under_replicated,
-                         repairs=report.repairs_sent)
-        return report
-
-    benchmark.pedantic(sweep_once, rounds=3, iterations=1)
-    by_type = net.network.stats.by_type
-    print()
-    print(table(
-        ["metric", "value"],
-        [
-            ["keys under-replicated (first sweep)", first["under"]],
-            ["repair datagrams (first sweep)", first["repairs"]],
-            ["StoreReplicate sent (all sweeps)", by_type.get("StoreReplicate", 0)],
-            ["min live rf after repair",
-             min(store.replication_factors().values())],
-        ],
-        title=f"anti-entropy after 20% mass failure (n={STORE_N}, keys={N_KEYS})",
-    ))
-    assert min(store.replication_factors().values()) == store.quorum.n
-
-
-def test_durability_under_30pct_churn(benchmark):
-    """The acceptance scenario: burst churn to 30% dead, AE between bursts,
-    then every key must still be quorum-readable (N=3, W=2, R=2)."""
-
-    def run_scenario():
-        cluster = _loaded_cluster(seed=BENCH_SEED + 1, anti_entropy=10.0)
-        net, store, ae = cluster.net, cluster.storage, cluster.anti_entropy
-        rng = net.rng.get("bench-churn")
-        order = [int(v) for v in rng.permutation(net.ids)]
-        total, burst = int(0.30 * STORE_N), STORE_N // 20
-        killed = 0
-        while killed < total:
-            step = order[killed:killed + min(burst, total - killed)]
-            killed += len(step)
-            cluster.fail_nodes(step, heal=True)
-            ae.converge()
-        alive = net.alive_ids()
-        results = [store.get(f"bench/{i:04d}", via=alive[i % len(alive)])
-                   for i in range(N_KEYS)]
-        readable = sum(r.found for r in results)
-        rfs = store.replication_factors()
-        return readable, min(rfs.values()), len(alive), ae
-
-    readable, min_rf, alive, ae = benchmark.pedantic(
-        run_scenario, rounds=1, iterations=1)
-    print()
-    print(table(
-        ["metric", "value"],
-        [
-            ["population / alive", f"{STORE_N} / {alive}"],
-            ["keys readable", f"{readable}/{N_KEYS}"],
-            ["min replication factor", min_rf],
-            ["anti-entropy sweeps", len(ae.reports)],
-            ["keys ever lost", max(r.lost for r in ae.reports)],
-        ],
-        title="durability under 30% churn (N=3, W=2, R=2)",
-    ))
-    assert readable == N_KEYS  # 100% readable after convergence
-    assert min_rf == 3
-    assert ae.tracker.always_durable
+test_storage = scenario_bench("storage")

@@ -1,39 +1,11 @@
 """Bench: §III.e routing-table size analysis, measured vs the paper's
-formulas.
+formulas, for both experimental cases.
 
-Paper targets: a level-0-only node (the vast majority) holds ~``l0 + h``
-entries and ``l0 + 1`` active connections; level-1 nodes maintain
-``l0 + ca + da``; upper nodes two more — "reasonably small", demonstrating
-the efficient use of heterogeneity.
+Thin registration: the scenario (parameter grids, metric schema, checks)
+lives in :mod:`repro.bench.scenarios`; run it standalone with
+``python -m repro.bench run table_sizes``.
 """
 
-from conftest import BENCH_N, BENCH_SEED
+from conftest import scenario_bench
 
-from repro.experiments import table_sizes
-
-
-def test_table_sizes_case1(benchmark):
-    rows = benchmark.pedantic(
-        lambda: table_sizes.run(n=BENCH_N, seed=BENCH_SEED, case="case1"),
-        rounds=1, iterations=1,
-    )
-    print()
-    print(table_sizes.render(n=BENCH_N, seed=BENCH_SEED, case="case1"))
-    classes = {r.node_class: r for r in rows}
-    leaf = classes["level-0 only"]
-    # The majority of the network is leaf-only with tiny state.
-    assert leaf.count > BENCH_N * 0.5
-    assert leaf.connections_mean <= leaf.connections_bound + 1.0
-    for r in rows:
-        assert r.within_bounds(slack=2.0), f"{r.node_class} exceeds 2x bound"
-
-
-def test_table_sizes_case2(benchmark):
-    rows = benchmark.pedantic(
-        lambda: table_sizes.run(n=BENCH_N, seed=BENCH_SEED, case="case2"),
-        rounds=1, iterations=1,
-    )
-    print()
-    print(table_sizes.render(n=BENCH_N, seed=BENCH_SEED, case="case2"))
-    for r in rows:
-        assert r.within_bounds(slack=2.5), f"{r.node_class} exceeds bound"
+test_table_sizes = scenario_bench("table_sizes")

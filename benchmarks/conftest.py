@@ -1,16 +1,29 @@
-"""Shared benchmark configuration.
+"""Shared plumbing for the pytest-benchmark entry points.
 
-Every figure bench regenerates its figure at the sizes below.  The two
-underlying sweeps (case 1 / case 2) are memoised per process (see
-:mod:`repro.experiments.cache`): the first bench touching a case pays for
-its sweep; the rest measure their own extraction + rendering.  Benches
-print the regenerated figure so the bench log doubles as the results
-record (EXPERIMENTS.md quotes it).
+Every ``bench_*.py`` here is a one-line binding of a registered
+``repro.bench`` scenario to pytest-benchmark — the measurement logic,
+parameter grids (full and ``--smoke``), metric schemas and the invariant
+checks the old bench files asserted all live in
+``src/repro/bench/scenarios/``.  Running a bench file via pytest executes
+the identical code path as ``python -m repro.bench run <name>``, prints
+the regenerated figure/table (so the bench log still doubles as the
+results record), and writes the same ``benchmarks/out/bench_<name>.json``
+``BenchResult`` envelope the CLI emits — pytest runs and CLI runs feed
+one perf trajectory.
 
-``BENCH_N = 1024`` reaches the paper's case-1 height h = 6 while keeping
-the whole bench suite under a couple of minutes.
+The two underlying figure sweeps (case 1 / case 2) stay memoised per
+process (:mod:`repro.experiments.cache`): the first figure bench touching
+a case pays for its sweep, the rest measure only extraction + rendering.
 """
 
-BENCH_N = 1024
-BENCH_SEED = 42
-BENCH_LOOKUPS = 200
+import os
+
+from repro.bench import testing
+
+#: Where every bench run (pytest or CLI) drops its BenchResult envelope.
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def scenario_bench(name: str):
+    """Bind registered scenario *name* to a pytest-benchmark test."""
+    return testing.pytest_scenario(name, out_dir=OUT_DIR)

@@ -29,11 +29,15 @@ Public surface:
 * :mod:`repro.baselines` — Chord and flooding comparators on the same
   simulated substrate.
 * :mod:`repro.experiments` — one runner per figure of the paper's §IV.
+* :mod:`repro.bench` — the unified benchmark harness:
+  ``python -m repro.bench run|list|compare|report`` over 19 declarative
+  scenarios, writing versioned ``BenchResult`` JSON to ``benchmarks/out/``
+  (the repo's perf trajectory).
 
 See README.md for the module map ("Module map") and the per-subsystem
-overviews ("Storage subsystem in one paragraph", "Compute subsystem in one
-paragraph"); each ``benchmarks/bench_*.py`` prints the measured-vs-paper
-record it regenerates.
+overviews, and ``docs/`` for the architecture, API and benchmark guides;
+each ``benchmarks/bench_*.py`` is a thin pytest binding onto the harness
+and still prints the measured-vs-paper record it regenerates.
 """
 
 from repro.cluster import Cluster, Service, ServiceContext, ServiceError
@@ -45,7 +49,7 @@ from repro.core.lookup import LookupAlgorithm, LookupResult
 from repro.core.treep import TreePNetwork
 from repro.storage import AntiEntropy, QuorumConfig, ReplicatedStore
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AntiEntropy",

@@ -1,0 +1,56 @@
+"""repro.bench — the unified benchmark harness and perf trajectory.
+
+Layer contract: this package *owns* how the repo measures itself — the
+declarative :class:`Scenario` registry wrapping every legacy
+``benchmarks/bench_*.py``, the ``python -m repro.bench`` CLI
+(``run | list | compare | report``), and the versioned
+:class:`BenchResult` JSON envelope written to ``benchmarks/out/`` so
+successive PRs accumulate a comparable perf trajectory.  It may import
+anything below it (experiments, cluster, subsystems, core, sim); nothing
+in ``src/repro`` outside this package may import it.
+
+Entry points:
+
+* ``python -m repro.bench list`` — the catalogue (19 scenarios).
+* ``python -m repro.bench run --smoke`` — CI's smoke pass: every
+  scenario at reduced parameters, schema-valid JSON out.
+* ``python -m repro.bench compare benchmarks/out old/`` — regression
+  gate between two trajectory points.
+* ``python -m repro.bench report`` — the markdown ``docs/benchmarks.md``
+  embeds.
+
+Scenario definitions live in :mod:`repro.bench.scenarios`; importing
+that package (done lazily by the CLI and the pytest glue, eagerly by
+``import repro.bench.scenarios``) populates :data:`registry`.
+"""
+
+from repro.bench.compare import Comparison, MetricDelta, compare_results
+from repro.bench.result import SCHEMA, BenchResult, git_sha, load_results
+from repro.bench.runner import run_scenario
+from repro.bench.scenario import (
+    Check,
+    Metric,
+    Scenario,
+    ScenarioOutput,
+    ScenarioRegistry,
+    registry,
+)
+from repro.bench.testing import pytest_scenario
+
+__all__ = [
+    "BenchResult",
+    "Check",
+    "Comparison",
+    "Metric",
+    "MetricDelta",
+    "SCHEMA",
+    "Scenario",
+    "ScenarioOutput",
+    "ScenarioRegistry",
+    "compare_results",
+    "git_sha",
+    "load_results",
+    "pytest_scenario",
+    "registry",
+    "run_scenario",
+]

@@ -1,0 +1,202 @@
+"""The harness CLI: ``python -m repro.bench run|list|compare|report``.
+
+* ``list`` — the scenario catalogue (name, group, params, metric count).
+* ``run [NAMES] [--group G] [--smoke] [--seed S] [--set k=v] [--out DIR]``
+  — execute scenarios through the Cluster-facade-backed runners, print
+  each rendered figure/table, write one ``bench_<name>.json``
+  :class:`~repro.bench.result.BenchResult` per scenario.  Exit 1 if any
+  scenario check fails (``--no-checks`` downgrades that to a report).
+* ``compare OLD NEW [--threshold T] [--scenario NAME]`` — diff two result
+  files/directories; exit 1 on any regression beyond the threshold.
+* ``report [--results DIR] [--scenarios-only]`` — markdown for the docs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, List, Optional
+
+import repro.bench.scenarios  # noqa: F401  (populates the registry)
+from repro.bench.compare import DEFAULT_THRESHOLD, compare_results
+from repro.bench.report import comparison_table, results_table, scenario_table
+from repro.bench.result import load_results
+from repro.bench.runner import run_scenario
+from repro.bench.scenario import GROUPS, registry
+from repro.viz.ascii import table
+
+DEFAULT_OUT = "benchmarks/out"
+
+
+def _parse_override(text: str) -> Any:
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            pass
+    return text
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Unified benchmark harness: run scenarios, track the "
+                    "perf trajectory, compare runs, render reports.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show the scenario catalogue")
+
+    run_p = sub.add_parser("run", help="execute scenarios, write BenchResult JSON")
+    run_p.add_argument("names", nargs="*",
+                       help="scenario names (default: every scenario)")
+    run_p.add_argument("--group", choices=GROUPS,
+                       help="run every scenario in one group")
+    run_p.add_argument("--smoke", action="store_true",
+                       help="reduced parameters (CI-speed, same code paths)")
+    run_p.add_argument("--seed", type=int, default=None,
+                       help="override every scenario's seed")
+    run_p.add_argument("--set", dest="overrides", action="append", default=[],
+                       metavar="KEY=VALUE", help="override one parameter")
+    run_p.add_argument("--out", default=DEFAULT_OUT,
+                       help=f"result directory (default: {DEFAULT_OUT})")
+    run_p.add_argument("--no-write", action="store_true",
+                       help="do not write result files")
+    run_p.add_argument("--no-checks", action="store_true",
+                       help="report failed checks without failing the run")
+    run_p.add_argument("--quiet", action="store_true",
+                       help="suppress the rendered figures/tables")
+
+    cmp_p = sub.add_parser("compare", help="diff two results, flag regressions")
+    cmp_p.add_argument("old", help="baseline: a bench_*.json file or directory")
+    cmp_p.add_argument("new", help="candidate: a bench_*.json file or directory")
+    cmp_p.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                       help="relative regression gate (default 0.10 = 10%%)")
+    cmp_p.add_argument("--scenario", default=None,
+                       help="restrict the diff to one scenario")
+
+    rep_p = sub.add_parser("report", help="render markdown for the docs")
+    rep_p.add_argument("--results", default=None,
+                       help="also render results from this file/directory")
+    rep_p.add_argument("--scenarios-only", action="store_true",
+                       help="only the scenario catalogue table")
+    return parser
+
+
+def _select(names: List[str], group: Optional[str]) -> List[str]:
+    if names and group:
+        raise SystemExit("give scenario names or --group, not both")
+    if group:
+        return [s.name for s in registry.by_group(group)]
+    if names:
+        for name in names:
+            registry.get(name)  # raises with the known-name list
+        return names
+    return [s.name for s in registry.all()]
+
+
+def _cmd_list() -> int:
+    rows = [[s.name, s.group, f"{len(s.metrics)}",
+             s.description] for s in registry.all()]
+    print(table(["scenario", "group", "metrics", "what it measures"], rows,
+                title=f"repro.bench — {len(registry)} registered scenarios"))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    overrides: Dict[str, Any] = {}
+    for item in args.overrides:
+        if "=" not in item:
+            raise SystemExit(f"--set expects KEY=VALUE, got {item!r}")
+        key, _, value = item.partition("=")
+        overrides[key] = _parse_override(value)
+
+    names = _select(args.names, args.group)
+    if overrides:
+        # Validate --set against every selected scenario up front — a
+        # KeyError after minutes of completed scenarios helps nobody.
+        bad = []
+        for name in names:
+            try:
+                registry.get(name).effective_params(smoke=args.smoke,
+                                                    overrides=overrides)
+            except (KeyError, ValueError) as exc:
+                bad.append(f"  {name}: {exc.args[0]}")
+        if bad:
+            raise SystemExit(
+                "--set does not apply to every selected scenario:\n"
+                + "\n".join(bad)
+                + "\nname the scenarios explicitly to use these overrides")
+    out_dir = None if args.no_write else args.out
+    failed_scenarios: List[str] = []
+    for name in names:
+        result = run_scenario(name, seed=args.seed, smoke=args.smoke,
+                              overrides=overrides or None, out_dir=out_dir)
+        failed = result.failed_checks()
+        status = "ok" if not failed else f"{len(failed)} CHECK(S) FAILED"
+        suffix = ".smoke.json" if args.smoke else ".json"
+        print(f"[{result.scenario}] {status} — {result.wall_time_s:.2f}s, "
+              f"{len(result.metrics)} metrics"
+              + (f" -> {out_dir}/bench_{name}{suffix}" if out_dir else ""))
+        if not args.quiet and result.rendered:
+            print(result.rendered)
+            print()
+        for check in failed:
+            print(f"  FAILED {check['name']}: {check.get('detail', '')}")
+        if failed:
+            failed_scenarios.append(name)
+    if failed_scenarios:
+        print(f"\nchecks failed in: {', '.join(failed_scenarios)}")
+        return 0 if args.no_checks else 1
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    comparison = compare_results(
+        load_results(args.old), load_results(args.new),
+        threshold=args.threshold, scenario=args.scenario)
+    print(comparison_table(comparison))
+    for name in comparison.mismatched:
+        print(f"  WARNING {name}: seed/params/smoke differ between the two "
+              f"runs — not compared (measure like with like)")
+    for drift in comparison.metric_drift:
+        print(f"  WARNING metric drift: {drift}")
+    regressions = comparison.regressions()
+    improvements = comparison.improvements()
+    print(f"\n{len(comparison.deltas)} metrics compared at "
+          f"±{100 * comparison.threshold:.0f}%: "
+          f"{len(regressions)} regression(s), "
+          f"{len(improvements)} improvement(s)")
+    for d in regressions:
+        print(f"  REGRESSION {d.describe()}")
+    if not comparison.deltas:
+        # A gate that measured nothing must not report a pass: typo'd
+        # --scenario, disjoint result sets, or all pairs mismatched.
+        print("ERROR: zero metrics were compared — nothing was gated")
+        return 2
+    return 1 if regressions else 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    print("## Scenario catalogue\n")
+    print(scenario_table())
+    if not args.scenarios_only and args.results:
+        print("\n## Results\n")
+        print(results_table(load_results(args.results)))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

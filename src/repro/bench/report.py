@@ -1,0 +1,90 @@
+"""Markdown rendering: the scenario catalogue and result tables.
+
+``python -m repro.bench report`` prints GitHub-flavoured markdown —
+``docs/benchmarks.md`` embeds the catalogue table this module generates,
+and the results table turns a ``benchmarks/out/`` directory into a
+human-readable trajectory point.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.bench.compare import Comparison
+from repro.bench.result import BenchResult
+from repro.bench.scenario import Scenario, registry
+
+
+def _md_table(header: List[str], rows: Iterable[List[str]]) -> str:
+    lines = ["| " + " | ".join(header) + " |",
+             "| " + " | ".join("---" for _ in header) + " |"]
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def _params_str(scenario: Scenario) -> str:
+    full = ", ".join(f"{k}={v}" for k, v in scenario.params.items())
+    if scenario.smoke_params:
+        smoke = ", ".join(f"{k}={v}" for k, v in scenario.smoke_params.items())
+        return f"{full} (smoke: {smoke})"
+    return full
+
+
+def scenario_table() -> str:
+    """The catalogue: every registered scenario, in group order."""
+    rows = []
+    for s in registry.all():
+        directional = sum(1 for m in s.metrics if m.direction != "neutral")
+        rows.append([
+            f"`{s.name}`", s.group, s.description,
+            f"`{_params_str(s)}`",
+            f"{len(s.metrics)} ({directional} gated)",
+        ])
+    return _md_table(
+        ["scenario", "group", "what it measures", "params", "metrics"], rows)
+
+
+def results_table(results: Dict[str, BenchResult]) -> str:
+    """One markdown block per result: metrics + check verdicts."""
+    parts: List[str] = []
+    for name in sorted(results):
+        r = results[name]
+        failed = r.failed_checks()
+        verdict = ("all checks passed" if not failed else
+                   f"**{len(failed)} check(s) FAILED**: "
+                   + ", ".join(c["name"] for c in failed))
+        parts.append(f"### `{name}`\n")
+        parts.append(
+            f"seed {r.seed} · {'smoke' if r.smoke else 'full'} params · "
+            f"{r.wall_time_s:.2f}s wall · git `{r.git_sha[:12]}` · {verdict}\n")
+        parts.append(_md_table(
+            ["metric", "value"],
+            [[f"`{k}`", f"{v:.6g}"] for k, v in sorted(r.metrics.items())]))
+        parts.append("")
+    return "\n".join(parts)
+
+
+def comparison_table(comparison: Comparison) -> str:
+    """Markdown diff table for ``compare`` output."""
+    rows = []
+    for d in comparison.deltas:
+        flag = {"regression": "🔴 regression", "improvement": "🟢 improvement",
+                "ok": "ok", "neutral": "·"}[d.status]
+        rows.append([f"`{d.scenario}`", f"`{d.metric}`", d.direction,
+                     f"{d.old:.6g}", f"{d.new:.6g}",
+                     f"{100 * d.rel_change:+.1f}%", flag])
+    out = [_md_table(
+        ["scenario", "metric", "better", "old", "new", "change", "status"],
+        rows)]
+    if comparison.mismatched:
+        out.append("\nNot comparable (seed/params/smoke differ): "
+                   + ", ".join(comparison.mismatched))
+    if comparison.metric_drift:
+        out.append("\nMetric drift (present in only one run): "
+                   + ", ".join(comparison.metric_drift))
+    if comparison.only_old:
+        out.append("\nOnly in OLD: " + ", ".join(comparison.only_old))
+    if comparison.only_new:
+        out.append("\nOnly in NEW: " + ", ".join(comparison.only_new))
+    return "\n".join(out)

@@ -1,0 +1,40 @@
+"""Scenario execution: run one registered scenario, envelope the result.
+
+This is the seam everything shares — the CLI's ``run`` subcommand, the
+pytest-benchmark glue in :mod:`repro.bench.testing`, and the harness
+tests all call :func:`run_scenario`, so every execution path emits the
+same :class:`~repro.bench.result.BenchResult` and (optionally) writes the
+same ``benchmarks/out/bench_<name>.json`` trajectory file.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Mapping, Optional
+
+from repro.bench.result import BenchResult
+from repro.bench.scenario import registry
+
+
+def run_scenario(name: str, *, seed: Optional[int] = None, smoke: bool = False,
+                 overrides: Optional[Mapping[str, Any]] = None,
+                 out_dir: Optional[str] = None) -> BenchResult:
+    """Execute scenario *name* and return its envelope.
+
+    When *out_dir* is given the envelope is also written there as
+    ``bench_<name>.json`` — ``bench_<name>.smoke.json`` for smoke runs —
+    the perf-trajectory file ``compare`` diffs.
+    """
+    scenario = registry.get(name)
+    effective_seed = scenario.seed if seed is None else seed
+    params = scenario.effective_params(smoke=smoke, overrides=overrides)
+    t0 = time.perf_counter()
+    output = scenario.execute(seed=effective_seed, smoke=smoke,
+                              overrides=overrides)
+    wall = time.perf_counter() - t0
+    result = BenchResult.from_output(
+        scenario, output, seed=effective_seed, smoke=smoke, params=params,
+        wall_time_s=wall)
+    if out_dir is not None:
+        result.write(out_dir)
+    return result

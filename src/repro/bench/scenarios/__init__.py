@@ -1,0 +1,14 @@
+"""Scenario definitions — importing this package populates the registry.
+
+One module per family, mirroring the old ``benchmarks/`` taxonomy:
+
+* :mod:`repro.bench.scenarios.figures` — the nine §IV figure sweeps;
+* :mod:`repro.bench.scenarios.ablation` — the four §VI design probes;
+* :mod:`repro.bench.scenarios.systems` — engineering benches for the
+  overlay core, table-size bounds, NGSA cost, baselines, storage and
+  compute subsystems.
+"""
+
+from repro.bench.scenarios import ablation as _ablation  # noqa: F401
+from repro.bench.scenarios import figures as _figures  # noqa: F401
+from repro.bench.scenarios import systems as _systems  # noqa: F401

@@ -10,6 +10,14 @@
   registration, and periodic tasks with automatic cancellation.
 * :class:`~repro.cluster.registry.ServiceRegistry` — the per-node ledger
   that owns cleanup, making handler/timer leaks structurally impossible.
+
+Layer contract: this package *owns composition* — service construction
+order, cross-service dependency wiring, per-node handler/timer ownership,
+and exactly-once churn callback dispatch.  It may import only
+``repro.core`` (the overlay it composes over) and ``repro.sim`` (timers,
+liveness hooks); it must never import a subsystem package
+(``services``/``storage``/``compute``) — subsystems depend on this
+layer's protocol, not the reverse.  See ``docs/architecture.md``.
 """
 
 from repro.cluster.cluster import Cluster

@@ -21,6 +21,16 @@ Everything is message-level protocol traffic (``Job*`` datagrams through
 the simulated fabric); checkpoints ride the replicated storage subsystem's
 quorum path, so a worker killed mid-job is re-placed and **resumes** from
 its last checkpoint instead of restarting.
+
+Layer contract: this package *owns job execution* — matchmaking,
+dispatch, heartbeat failure detection, checkpointed re-execution, DAG
+ordering and scheduler failover.  It sits at the top of the subsystem
+stack and may import ``repro.cluster`` (the ``Service`` protocol),
+``repro.storage`` (checkpoints ride the quorum path),
+``repro.services`` (discovery aggregates for matchmaking),
+``repro.core``, ``repro.sim`` and ``repro.metrics``; nothing in
+``src/repro`` imports compute except the measurement layers
+(``repro.bench``, benchmarks, examples).  See ``docs/architecture.md``.
 """
 
 from repro.compute.job import (

@@ -14,6 +14,15 @@ storage subsystem rather than a demo:
   :class:`ReplicatedStore` is the client facade.
 * :mod:`repro.storage.antientropy` — periodic churn-driven
   re-replication registered with the simulator.
+
+Layer contract: this package *owns the durability of key/value data* —
+replica placement, quorum semantics (N/W/R), write stamps and read
+repair, and anti-entropy convergence.  As a service it may import
+``repro.cluster`` (the ``Service`` protocol it implements),
+``repro.core`` (key routing, node types), ``repro.sim`` (time, delivery)
+and ``repro.metrics`` (durability accounting); it must not import
+``repro.services`` or ``repro.compute`` — compute depends on storage for
+checkpoints, never the reverse.  See ``docs/architecture.md``.
 """
 
 from repro.storage.antientropy import AntiEntropy, SweepReport

@@ -1,0 +1,276 @@
+"""Tier-1 coverage for the repro.bench harness.
+
+Covers the acceptance surface: the registry lists all 19 legacy
+scenarios, a smoke scenario round-trips through the BenchResult JSON
+envelope, and ``compare`` flags an injected regression while passing
+identical runs.  CLI subcommands are exercised through ``main`` so the
+exit-code contract CI relies on is pinned.
+"""
+
+import json
+
+import pytest
+
+import repro.bench.scenarios  # noqa: F401  (populates the registry)
+from repro.bench import (
+    SCHEMA,
+    BenchResult,
+    Metric,
+    Scenario,
+    ScenarioOutput,
+    compare_results,
+    load_results,
+    registry,
+    run_scenario,
+)
+from repro.bench.cli import main
+from repro.bench.result import validate_result_dict
+
+#: Every legacy bench_*.py, as a registered scenario.
+EXPECTED_SCENARIOS = {
+    "figure_a", "figure_b", "figure_c", "figure_d", "figure_e",
+    "figure_f", "figure_g", "figure_h", "figure_i",
+    "ablation_ids", "ablation_demotion", "ablation_fallback",
+    "ablation_maintenance",
+    "core", "table_sizes", "ngsa_cost", "baselines", "storage", "compute",
+}
+
+
+# ------------------------------------------------------------------ registry
+
+def test_registry_lists_all_legacy_scenarios():
+    assert set(registry.names()) == EXPECTED_SCENARIOS
+    assert len(registry) == 19
+
+
+def test_every_scenario_declares_a_metrics_schema():
+    for scenario in registry.all():
+        assert scenario.metrics, f"{scenario.name} declares no metrics"
+        assert scenario.description
+        directional = [m for m in scenario.metrics if m.direction != "neutral"]
+        assert directional, (
+            f"{scenario.name} has no directional metric for compare to gate")
+
+
+def test_every_scenario_has_reduced_smoke_params():
+    for scenario in registry.all():
+        assert scenario.smoke_params, f"{scenario.name} has no smoke variant"
+        full = scenario.effective_params(smoke=False)
+        smoke = scenario.effective_params(smoke=True)
+        assert set(smoke) == set(full)
+        assert smoke != full
+
+
+def test_param_overrides_are_validated():
+    scenario = registry.get("core")
+    assert scenario.effective_params(overrides={"n": 64})["n"] == 64
+    with pytest.raises(KeyError, match="no parameter"):
+        scenario.effective_params(overrides={"bogus": 1})
+
+
+def test_param_overrides_coerce_numeric_types():
+    """`--set lookups=1e2` parses as float; the int param gets an int back,
+    and a lossy float is rejected up front instead of crashing mid-run."""
+    scenario = registry.get("core")
+    coerced = scenario.effective_params(overrides={"lookups": 1e2})
+    assert coerced["lookups"] == 100 and isinstance(coerced["lookups"], int)
+    with pytest.raises(ValueError, match="expects an int"):
+        scenario.effective_params(overrides={"lookups": 99.5})
+
+
+def test_metrics_schema_is_enforced_at_execution():
+    rogue = Scenario(
+        name="rogue", group="core", description="declares a, emits b",
+        runner=lambda params, seed, smoke: ScenarioOutput({"b": 1.0}),
+        params={"n": 1}, metrics=(Metric("a", direction="lower"),))
+    with pytest.raises(ValueError, match="violated its metrics schema"):
+        rogue.execute()
+
+
+def test_metric_rejects_unknown_direction():
+    with pytest.raises(ValueError, match="direction"):
+        Metric("m", direction="sideways")
+
+
+# ------------------------------------------------- BenchResult round-trip
+
+def test_smoke_scenario_roundtrips_through_benchresult_json(tmp_path):
+    result = run_scenario("core", smoke=True, out_dir=str(tmp_path))
+    path = tmp_path / "bench_core.smoke.json"  # smoke never clobbers full
+    assert path.exists()
+
+    raw = json.loads(path.read_text())
+    validate_result_dict(raw)  # schema-valid envelope
+    assert raw["schema"] == SCHEMA
+    assert raw["scenario"] == "core"
+    assert raw["smoke"] is True
+    assert raw["params"]["n"] == 256
+    assert raw["wall_time_s"] > 0
+
+    loaded = BenchResult.read(str(path))
+    assert loaded.to_dict() == result.to_dict()
+    assert loaded.metrics == result.metrics
+    assert all(c["passed"] for c in loaded.checks)
+    # and the directory loader finds it under its scenario name
+    assert set(load_results(str(tmp_path))) == {"core"}
+
+
+def test_validate_rejects_malformed_envelopes():
+    result = run_scenario("core", smoke=True)
+    good = result.to_dict()
+    for mutate in (
+        lambda d: d.pop("git_sha"),
+        lambda d: d.update(schema="repro.bench/999"),
+        lambda d: d.update(metrics={}),
+        lambda d: d.update(metrics={"x": "fast"}),
+        lambda d: d.update(checks=[{"nope": 1}]),
+    ):
+        bad = json.loads(json.dumps(good))
+        mutate(bad)
+        with pytest.raises(ValueError):
+            validate_result_dict(bad)
+
+
+# ------------------------------------------------------------------ compare
+
+def _result(metrics, scenario="compute", **kwargs):
+    s = registry.get(scenario)
+    fields = dict(
+        scenario=s.name, group=s.group, git_sha="deadbeef", seed=42,
+        smoke=True, params=dict(s.effective_params(smoke=True)),
+        wall_time_s=1.0, metrics=metrics, checks=[], unix_time=0.0,
+    )
+    fields.update(kwargs)
+    return BenchResult(**fields)
+
+
+def test_compare_passes_identical_runs():
+    base = _result({"checkpoint_wasted_work": 100.0,
+                    "checkpoint_goodput": 0.9})
+    comparison = compare_results({"compute": base}, {"compute": base})
+    assert comparison.ok
+    assert not comparison.regressions()
+
+
+def test_compare_flags_injected_20pct_regression():
+    # checkpoint_wasted_work is declared lower-is-better: +20% regresses.
+    old = _result({"checkpoint_wasted_work": 100.0})
+    new = _result({"checkpoint_wasted_work": 120.0})
+    comparison = compare_results({"compute": old}, {"compute": new},
+                                 threshold=0.10)
+    assert not comparison.ok
+    (reg,) = comparison.regressions()
+    assert reg.metric == "checkpoint_wasted_work"
+    assert reg.rel_change == pytest.approx(0.20)
+
+
+def test_compare_direction_and_threshold_semantics():
+    # higher-is-better metric dropping 20% regresses...
+    old = _result({"checkpoint_goodput": 1.0})
+    new = _result({"checkpoint_goodput": 0.8})
+    assert not compare_results({"compute": old}, {"compute": new}).ok
+    # ...the same drop within a 30% threshold passes...
+    assert compare_results({"compute": old}, {"compute": new},
+                           threshold=0.3).ok
+    # ...moving the good way is an improvement, not a regression.
+    comparison = compare_results({"compute": new}, {"compute": old})
+    assert comparison.ok
+    assert len(comparison.improvements()) == 1
+    # neutral metrics are reported but never flagged.
+    old_n = _result({"restart_wasted_work": 100.0})
+    new_n = _result({"restart_wasted_work": 500.0})
+    assert compare_results({"compute": old_n}, {"compute": new_n}).ok
+
+
+def test_compare_reports_scenario_set_drift():
+    a = _result({"checkpoint_goodput": 1.0})
+    comparison = compare_results({"compute": a}, {})
+    assert comparison.only_old == ["compute"]
+    assert comparison.ok  # missing scenarios inform, they don't gate
+
+
+def test_compare_refuses_mismatched_experiments():
+    """A smoke run vs a full run is a different experiment — reported as
+    mismatched, never gated (would otherwise manufacture regressions)."""
+    smoke = _result({"checkpoint_goodput": 1.0})
+    full = _result({"checkpoint_goodput": 0.5}, smoke=False,
+                   params=dict(registry.get("compute").params))
+    comparison = compare_results({"compute": smoke}, {"compute": full})
+    assert comparison.mismatched == ["compute"]
+    assert not comparison.deltas
+    assert comparison.ok
+    # differing seeds are equally incomparable
+    reseeded = _result({"checkpoint_goodput": 0.5}, seed=7)
+    assert compare_results({"compute": smoke},
+                           {"compute": reseeded}).mismatched == ["compute"]
+
+
+# ---------------------------------------------------------------------- CLI
+
+def test_cli_list_shows_every_scenario(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPECTED_SCENARIOS:
+        assert name in out
+
+
+def test_cli_run_writes_envelope_and_exits_zero(tmp_path, capsys):
+    rc = main(["run", "core", "--smoke", "--quiet",
+               "--out", str(tmp_path)])
+    assert rc == 0
+    assert (tmp_path / "bench_core.smoke.json").exists()
+    assert "[core] ok" in capsys.readouterr().out
+
+
+def test_cli_compare_exit_codes(tmp_path, capsys):
+    old = _result({"checkpoint_wasted_work": 100.0})
+    new = _result({"checkpoint_wasted_work": 130.0})
+    old_dir, new_dir = tmp_path / "old", tmp_path / "new"
+    for d, r in ((old_dir, old), (new_dir, new)):
+        d.mkdir()
+        r.write(str(d))
+    assert main(["compare", str(old_dir), str(old_dir)]) == 0
+    assert main(["compare", str(old_dir), str(new_dir)]) == 1
+    assert "REGRESSION" in capsys.readouterr().out
+    # a gate that compared nothing must not exit 0 (e.g. typo'd --scenario)
+    rc = main(["compare", str(old_dir), str(new_dir), "--scenario", "storge"])
+    assert rc == 2
+    assert "zero metrics" in capsys.readouterr().out
+
+
+def test_load_results_prefers_full_over_smoke_twin(tmp_path):
+    smoke = _result({"checkpoint_goodput": 0.5})
+    full = _result({"checkpoint_goodput": 1.0}, smoke=False,
+                   params=dict(registry.get("compute").params))
+    assert smoke.write(str(tmp_path)).endswith(".smoke.json")
+    assert full.write(str(tmp_path)).endswith("bench_compute.json")
+    loaded = load_results(str(tmp_path))
+    assert loaded["compute"].smoke is False  # the full point wins
+
+
+def test_cli_report_renders_catalogue(capsys):
+    assert main(["report", "--scenarios-only"]) == 0
+    out = capsys.readouterr().out
+    assert "| scenario |" in out
+    for name in EXPECTED_SCENARIOS:
+        assert f"`{name}`" in out
+
+
+def test_cli_run_rejects_inapplicable_overrides():
+    """--set across all scenarios must fail fast, not traceback mid-run."""
+    with pytest.raises(SystemExit, match="does not apply"):
+        main(["run", "--set", "n=512", "--no-write", "--quiet"])
+
+
+def test_docs_catalogue_matches_generated_table():
+    """docs/benchmarks.md embeds the generated catalogue verbatim; this
+    pins it against drift when scenarios change."""
+    import os
+
+    from repro.bench.report import scenario_table
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    with open(os.path.join(repo, "docs", "benchmarks.md")) as fh:
+        doc = fh.read()
+    assert scenario_table() in doc, (
+        "docs/benchmarks.md catalogue is stale — regenerate with "
+        "`python -m repro.bench report --scenarios-only` and paste it in")

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Intra-repo markdown link checker (the CI docs gate).
+
+Usage::
+
+    python tools/check_links.py README.md docs
+
+Scans every markdown file given (directories are walked for ``*.md``) for
+inline links and validates the *intra-repo* ones:
+
+* relative file targets must exist (resolved against the linking file);
+* ``file.md#anchor`` and same-file ``#anchor`` targets must match a
+  heading in the target file (GitHub-style slugs);
+* external schemes (http/https/mailto) are ignored.
+
+Exit code 1 with one line per broken link; 0 when the docs are clean.
+No dependencies beyond the standard library, so the CI job needs no
+installs.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from typing import Iterable, List, Tuple
+
+#: Inline markdown links, skipping images; code spans are stripped first.
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_SPAN_RE = re.compile(r"`[^`]*`")
+CODE_BLOCK_RE = re.compile(r"```.*?```", re.DOTALL)
+EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces→hyphens."""
+    text = CODE_SPAN_RE.sub(lambda m: m.group(0).strip("`"), heading)
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(markdown: str) -> List[str]:
+    slugs: List[str] = []
+    for match in HEADING_RE.finditer(CODE_BLOCK_RE.sub("", markdown)):
+        slug = github_slug(match.group(1))
+        # GitHub de-duplicates repeated headings with -1, -2, ...
+        if slug in slugs:
+            n = 1
+            while f"{slug}-{n}" in slugs:
+                n += 1
+            slug = f"{slug}-{n}"
+        slugs.append(slug)
+    return slugs
+
+
+def iter_markdown_files(paths: Iterable[str]) -> List[str]:
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _dirs, names in os.walk(path):
+                files.extend(os.path.join(root, n) for n in sorted(names)
+                             if n.endswith(".md"))
+        else:
+            files.append(path)
+    return files
+
+
+def check_file(path: str) -> List[Tuple[str, str]]:
+    """Return (target, problem) for every broken intra-repo link in *path*."""
+    with open(path, encoding="utf-8") as fh:
+        text = fh.read()
+    base = os.path.dirname(os.path.abspath(path))
+    broken: List[Tuple[str, str]] = []
+    # Strip fenced blocks and inline code spans: link *syntax* shown as
+    # code is documentation, not a link.
+    scannable = CODE_SPAN_RE.sub("", CODE_BLOCK_RE.sub("", text))
+    for target in LINK_RE.findall(scannable):
+        if target.startswith(EXTERNAL):
+            continue
+        file_part, _, anchor = target.partition("#")
+        if file_part:
+            resolved = os.path.normpath(os.path.join(base, file_part))
+            if not os.path.exists(resolved):
+                broken.append((target, f"missing file {file_part!r}"))
+                continue
+            anchor_source = resolved
+        else:
+            anchor_source = os.path.abspath(path)
+        if anchor:
+            if not anchor_source.endswith(".md"):
+                continue  # anchors into non-markdown files: not checkable
+            with open(anchor_source, encoding="utf-8") as fh:
+                slugs = heading_slugs(fh.read())
+            if anchor not in slugs:
+                broken.append((target, f"missing anchor #{anchor} in "
+                                       f"{os.path.relpath(anchor_source)}"))
+    return broken
+
+
+def main(argv: List[str]) -> int:
+    paths = argv or ["README.md", "docs"]
+    files = iter_markdown_files(paths)
+    if not files:
+        print(f"check_links: no markdown files under {paths}", file=sys.stderr)
+        return 1
+    total_broken = 0
+    for path in files:
+        for target, problem in check_file(path):
+            print(f"{path}: broken link ({target}): {problem}")
+            total_broken += 1
+    print(f"check_links: {len(files)} file(s), {total_broken} broken link(s)")
+    return 1 if total_broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
