@@ -1,0 +1,6 @@
+"""pytest-benchmark binding for the `scale_lookup` scenario (see
+src/repro/bench/scenarios/scale.py and docs/performance.md)."""
+
+from conftest import scenario_bench
+
+test_scale_lookup = scenario_bench("scale_lookup")

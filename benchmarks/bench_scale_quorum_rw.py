@@ -1,0 +1,6 @@
+"""pytest-benchmark binding for the `scale_quorum_rw` scenario (see
+src/repro/bench/scenarios/scale.py and docs/performance.md)."""
+
+from conftest import scenario_bench
+
+test_scale_quorum_rw = scenario_bench("scale_quorum_rw")

@@ -4,7 +4,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.4.0",
+    version="1.5.0",
     description=(
         "TreeP: a tree-based P2P network architecture (CLUSTER 2005) — "
         "full reproduction"

@@ -30,12 +30,13 @@ Public surface:
   simulated substrate.
 * :mod:`repro.experiments` — one runner per figure of the paper's §IV.
 * :mod:`repro.bench` — the unified benchmark harness:
-  ``python -m repro.bench run|list|compare|report`` over 19 declarative
-  scenarios, writing versioned ``BenchResult`` JSON to ``benchmarks/out/``
-  (the repo's perf trajectory).
+  ``python -m repro.bench run|list|compare|report`` over 23 declarative
+  scenarios — including the ``scale_*`` 10k-node sweeps behind
+  ``docs/performance.md`` — writing versioned ``BenchResult`` JSON to
+  ``benchmarks/out/`` (the repo's perf trajectory).
 
 See README.md for the module map ("Module map") and the per-subsystem
-overviews, and ``docs/`` for the architecture, API and benchmark guides;
+overviews, and ``docs/`` for the architecture, API, benchmark and performance guides;
 each ``benchmarks/bench_*.py`` is a thin pytest binding onto the harness
 and still prints the measured-vs-paper record it regenerates.
 """
@@ -49,7 +50,7 @@ from repro.core.lookup import LookupAlgorithm, LookupResult
 from repro.core.treep import TreePNetwork
 from repro.storage import AntiEntropy, QuorumConfig, ReplicatedStore
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AntiEntropy",

@@ -11,7 +11,8 @@ in ``src/repro`` outside this package may import it.
 
 Entry points:
 
-* ``python -m repro.bench list`` — the catalogue (19 scenarios).
+* ``python -m repro.bench list`` — the catalogue (23 scenarios,
+  including the ``scale_*`` 10k-node sweeps).
 * ``python -m repro.bench run --smoke`` — CI's smoke pass: every
   scenario at reduced parameters, schema-valid JSON out.
 * ``python -m repro.bench compare benchmarks/out old/`` — regression

@@ -22,7 +22,8 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 DIRECTIONS = ("higher", "lower", "neutral")
 
 #: Scenario groups, in catalogue order.
-GROUPS = ("figures", "ablations", "core", "baselines", "storage", "compute")
+GROUPS = ("figures", "ablations", "core", "baselines", "storage", "compute",
+          "scale")
 
 
 @dataclass(frozen=True)

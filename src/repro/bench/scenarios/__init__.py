@@ -6,9 +6,12 @@ One module per family, mirroring the old ``benchmarks/`` taxonomy:
 * :mod:`repro.bench.scenarios.ablation` — the four §VI design probes;
 * :mod:`repro.bench.scenarios.systems` — engineering benches for the
   overlay core, table-size bounds, NGSA cost, baselines, storage and
-  compute subsystems.
+  compute subsystems;
+* :mod:`repro.bench.scenarios.scale` — the 10k-node scalability sweeps
+  (events/sec, hops vs log N) behind ``docs/performance.md``.
 """
 
 from repro.bench.scenarios import ablation as _ablation  # noqa: F401
 from repro.bench.scenarios import figures as _figures  # noqa: F401
+from repro.bench.scenarios import scale as _scale  # noqa: F401
 from repro.bench.scenarios import systems as _systems  # noqa: F401

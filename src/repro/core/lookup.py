@@ -32,7 +32,9 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import List, Optional, Protocol, Sequence, Tuple
+from typing import List, NamedTuple, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.config import TreePConfig
 from repro.core.distance import halving_criterion, treep_distance
@@ -56,6 +58,11 @@ class LookupAlgorithm(str, enum.Enum):
         raise ValueError(f"unknown lookup algorithm {name!r}")
 
 
+#: value/name -> member, so the per-hop parse is one dict hit.
+_ALGO_BY_TOKEN = {a.value: a for a in LookupAlgorithm}
+_ALGO_BY_TOKEN.update({a.name: a for a in LookupAlgorithm})
+
+
 class NodeView(Protocol):
     """What the router may see: strictly node-local state."""
 
@@ -73,9 +80,14 @@ class DecisionKind(enum.Enum):
     DISCARD = "discard"
 
 
-@dataclass(frozen=True)
-class Decision:
-    """Outcome of one local routing step."""
+class Decision(NamedTuple):
+    """Outcome of one local routing step.
+
+    A ``NamedTuple`` rather than a frozen dataclass: one is allocated per
+    routing step, and tuple construction skips the per-field
+    ``object.__setattr__`` cost of frozen dataclasses while staying
+    immutable.
+    """
 
     kind: DecisionKind
     next_hop: Optional[int] = None
@@ -99,7 +111,12 @@ class Decision:
         return Decision(DecisionKind.DISCARD)
 
 
-@dataclass(frozen=True)
+#: Preallocated terminal decisions — they carry no per-request payload.
+_NOT_FOUND = Decision(DecisionKind.NOT_FOUND)
+_DISCARD = Decision(DecisionKind.DISCARD)
+
+
+@dataclass(frozen=True, slots=True)
 class LookupResult:
     """Origin-side outcome of one lookup, consumed by the harness."""
 
@@ -124,11 +141,154 @@ def _metric(view: NodeView, entry_id: int, entry_level: int, target: int, euclid
     return treep_distance(space, entry_id, entry_level, target, view.height)
 
 
+#: ``(extent, height) -> per-level tessellation radii`` — the §III.f
+#: ``L / 2**(h - lvl)`` values.  Heights are tiny (≈ log N) and extents are
+#: config constants, so this process-wide memo stays a handful of entries
+#: while removing a ``cell_radius`` call (validation + float pow) from every
+#: candidate visit on the greedy hot path.  Values are computed by the same
+#: expression as :func:`repro.core.distance.cell_radius`, so the cached
+#: floats are bit-identical to the uncached ones.
+_RADII_CACHE: dict[Tuple[int, int], Tuple[float, ...]] = {}
+
+
+def _radii(extent: int, height: int) -> Tuple[float, ...]:
+    key = (extent, height)
+    radii = _RADII_CACHE.get(key)
+    if radii is None:
+        radii = tuple(extent / float(2 ** max(height - lvl, 0))
+                      for lvl in range(height + 1))
+        _RADII_CACHE[key] = radii
+    return radii
+
+
+def _ordered_triples(view: NodeView) -> List[Tuple[int, int, Entry]]:
+    """Fig. 3's full candidate order as ``(ident, max_level, entry)``
+    triples, memoised per routing-table version.
+
+    The order (children, neighbour-children, buses top-down, parents,
+    superiors, level-0; each group sorted by id; first occurrence wins) is
+    a pure function of role membership, and ``max_level`` metadata changes
+    bump the version too (see ``RoutingTable.upsert``), so the built list
+    stays valid until the table's
+    :attr:`~repro.core.routing_table.RoutingTable.version` bumps.
+    Per-request ``exclude`` filtering happens at iteration time —
+    filtering before or after the sort/dedupe yields the same sequence, so
+    cached and uncached enumeration are step-for-step identical.  This is
+    the "avoid per-hop list rebuilds" half of the 10k-node hot-path work:
+    at scale, interior nodes are visited by thousands of lookups between
+    table changes.
+    """
+    t = view.table
+    version = t._version
+    cached = t.cache.get("lookup_order_t")
+    if cached is not None and cached[0] == version:
+        return cached[1]
+    ordered: List[int] = []
+    seen: set[int] = set()
+    for group in (
+        sorted(t.children),
+        sorted(t.neighbour_children),
+        *(sorted(t.level_tables.get(l, ())) for l in sorted(t.level_tables, reverse=True)),
+        sorted(set(t.parents.values())),
+        sorted(t.superiors),
+        sorted(t.level0),
+    ):
+        for i in group:
+            if i not in seen:
+                seen.add(i)
+                ordered.append(i)
+    get = t.get
+    triples = [(e.ident, e.max_level, e)
+               for e in map(get, ordered) if e is not None]
+    t.cache["lookup_order_t"] = (version, triples)
+    return triples
+
+
+def _ordered_entries(view: NodeView) -> List[Entry]:
+    """Entry view of :func:`_ordered_triples` (the NG/NGSA scan input)."""
+    t = view.table
+    cached = t.cache.get("lookup_order")
+    if cached is not None and cached[0] == t._version:
+        return cached[1]
+    entries = [e for _, _, e in _ordered_triples(view)]
+    t.cache["lookup_order"] = (t._version, entries)
+    return entries
+
+
+def _level_zero_triples(view: NodeView) -> List[Tuple[int, int, Entry]]:
+    """``Search_Level_Zero()`` candidates, memoised like :func:`_ordered_triples`."""
+    t = view.table
+    version = t._version
+    cached = t.cache.get("lookup_l0_t")
+    if cached is not None and cached[0] == version:
+        return cached[1]
+    ids = set(t.level0) | set(t.children) | set(t.neighbour_children)
+    get = t.get
+    triples = [(e.ident, e.max_level, e)
+               for e in map(get, sorted(ids)) if e is not None]
+    t.cache["lookup_l0_t"] = (version, triples)
+    return triples
+
+
+def _level_zero_entries(view: NodeView) -> List[Entry]:
+    return [e for _, _, e in _level_zero_triples(view)]
+
+
+#: Below this many candidates the plain Python argmin loop beats NumPy's
+#: fixed per-ufunc dispatch overhead (measured crossover ≈ 8–10).
+_NP_MIN_CANDIDATES = 8
+
+#: The vectorised path requires ids (and id differences) to be exact in
+#: int64/float64; beyond 2**53 the float pipeline would round where the
+#: scalar loop (arbitrary-precision ints) stays exact, and past 2**63
+#: ``np.fromiter(dtype=int64)`` overflows outright.  Larger extents are a
+#: supported config knob, so they keep the scalar loop.
+_NP_MAX_EXTENT = 2 ** 53
+
+_INF = float("inf")
+
+
+def _np_candidates(view: NodeView, l0: bool):
+    """Vectorised view of the candidate order: ``(ids int64 array, entries,
+    int64 scratch, float64 scratch, per-candidate radius)`` — or ``None``
+    for tables below :data:`_NP_MIN_CANDIDATES` (cached verdict either way).
+
+    Keyed on ``(table version, height)`` — the radius column depends on the
+    node's current height estimate.  The float pipeline reproduces the
+    scalar metric exactly: ids are < 2**53 so the int64→float64 conversions
+    are exact, ``|id - target| - radius`` is the same IEEE subtraction, and
+    the 0-clamp equals the ``d <= radius → 0`` branch.  ``argmin`` returns
+    the *first* minimum, matching the scan loop's strict ``<`` tie-break.
+    """
+    t = view.table
+    key = "lookup_np_l0" if l0 else "lookup_np"
+    height = view.height
+    cached = t.cache.get(key)
+    if cached is not None and cached[0] == t._version and cached[1] == height:
+        return cached[2]
+    triples = _level_zero_triples(view) if l0 else _ordered_triples(view)
+    if len(triples) < _NP_MIN_CANDIDATES:
+        # Leaf-sized tables stay on the scalar loop; cache the verdict so
+        # warm hops skip straight to it.
+        t.cache[key] = (t._version, height, None)
+        return None
+    radii = _radii(view.config.space.extent, height)
+    ids = np.fromiter((i for i, _, _ in triples), dtype=np.int64,
+                      count=len(triples))
+    radius = np.fromiter(
+        (0.0 if lvl <= 0 else radii[lvl if lvl <= height else height]
+         for _, lvl, _ in triples),
+        dtype=np.float64, count=len(triples))
+    entries = [e for _, _, e in triples]
+    payload = (ids, entries, np.empty_like(ids),
+               np.empty(len(triples), dtype=np.float64), radius)
+    t.cache[key] = (t._version, height, payload)
+    return payload
+
+
 def _level_zero_candidates(view: NodeView, exclude: frozenset[int]) -> List[Entry]:
     """``Search_Level_Zero()``: children and level-0 neighbourhood only."""
-    t = view.table
-    ids = set(t.level0) | set(t.children) | set(t.neighbour_children)
-    return [t.get(i) for i in sorted(ids) if i not in exclude and t.get(i) is not None]  # type: ignore[misc]
+    return [e for e in _level_zero_entries(view) if e.ident not in exclude]
 
 
 def _full_candidates(
@@ -145,13 +305,14 @@ def _full_candidates(
     the logarithmic hop counts the paper reports: the scan meets the big
     tessellation jumps before the single-neighbour shuffles.
     """
+    if target is None:
+        return [e for e in _ordered_entries(view) if e.ident not in exclude]
+
     t = view.table
     space = view.config.space
 
     def by_target(ids) -> List[int]:
         ids = [i for i in ids if i not in exclude]
-        if target is None:
-            return sorted(ids)
         return sorted(ids, key=lambda i: (space.distance(i, target), i))
 
     ordered: List[int] = []
@@ -183,45 +344,118 @@ def route(view: NodeView, req: LookupRequest) -> Decision:
     """
     cfg = view.config
     if req.ttl > cfg.ttl_max:
-        return Decision.discard()
+        return _DISCARD
 
     # "IF target X is in the routing table THEN transmit back the result".
     if req.target == view.ident:
         return Decision.found(view.ident)
-    if view.table.knows(req.target):
+    if req.target in view.table._entries:  # inlined RoutingTable.knows
         return Decision.found(req.target)
 
     # Disruption mode: beyond the hierarchy height, fall back to Euclidean.
     euclid = cfg.euclidean_fallback and req.ttl > view.height
 
-    exclude = frozenset(req.path) | {view.ident}
-    algo = LookupAlgorithm.parse(req.algo)
+    algo = _ALGO_BY_TOKEN.get(req.algo)
+    if algo is None:
+        algo = LookupAlgorithm.parse(req.algo)
     if algo is LookupAlgorithm.GREEDY:
-        return _route_greedy(view, req, exclude, euclid)
+        # The greedy path materialises its exclusion set lazily — the
+        # vectorised argmin works straight off ``req.path``.
+        return _route_greedy(view, req, None, euclid)
+    exclude = frozenset(req.path + (view.ident,))
     return _route_non_greedy(view, req, exclude, euclid,
                              with_fallback=algo is LookupAlgorithm.NON_GREEDY_FALLBACK)
 
 
 def _route_greedy(
-    view: NodeView, req: LookupRequest, exclude: frozenset[int], euclid: bool
+    view: NodeView, req: LookupRequest,
+    exclude: Optional[frozenset[int]], euclid: bool,
 ) -> Decision:
     cfg = view.config
     space = cfg.space
     from_level1_parent = req.from_parent_level == 1 and view.max_level == 0
 
-    if from_level1_parent:
-        cands = _level_zero_candidates(view, exclude)
-    else:
-        cands = _full_candidates(view, exclude)
-
+    target = req.target
     best: Optional[Entry] = None
     best_d = float("inf")
-    for e in cands:
-        d = _metric(view, e.ident, e.max_level, req.target, euclid)
-        if d < best_d:
-            best, best_d = e, d
-
-    d_here = _metric(view, view.ident, view.max_level, req.target, euclid)
+    if type(space) is IdSpace:
+        # Inlined ``_metric`` for the stock 1-D space: |a - b| minus the
+        # cached tessellation radius.  Exact ints compare exactly against
+        # the float radii (ids are < 2**53), so every comparison — and
+        # therefore every Decision — is identical to the generic path;
+        # only the per-candidate function calls and float boxing are gone.
+        # This loop is the single hottest code path of a 10k-node run.
+        height = view.height
+        radii = None if euclid else _radii(space.extent, height)
+        t = view.table
+        payload = None
+        if not euclid and space.extent <= _NP_MAX_EXTENT:
+            cached = t.cache.get(
+                "lookup_np_l0" if from_level1_parent else "lookup_np")
+            if (cached is not None and cached[0] == t._version
+                    and cached[1] == height):
+                payload = cached[2]
+            else:
+                payload = _np_candidates(view, from_level1_parent)
+        if payload is not None:
+            # Vectorised argmin over the cached candidate columns — the
+            # ufunc pipeline computes the identical metric values (see
+            # _np_candidates) with constant Python-side cost.
+            ids, np_entries, ibuf, fbuf, radius_col = payload
+            np.subtract(ids, target, out=ibuf)
+            np.absolute(ibuf, out=ibuf)
+            np.subtract(ibuf, radius_col, out=fbuf)
+            np.maximum(fbuf, 0.0, out=fbuf)
+            # Optimistic exclusion: an already-visited candidate rarely
+            # wins the argmin, so re-run it only on a collision instead of
+            # masking every path element up front (each NumPy scalar store
+            # costs more than a whole argmin at these sizes).  Yields the
+            # first non-excluded minimum — exactly the scan loop's pick.
+            path = req.path
+            while True:
+                j = int(fbuf.argmin())
+                d = fbuf.item(j)  # plain Python float, no ndarray scalar box
+                if d == _INF:
+                    break
+                winner = np_entries[j]
+                if path and winner.ident in path:
+                    fbuf[j] = _INF
+                    continue
+                best, best_d = winner, d
+                break
+        else:
+            triples = (_level_zero_triples(view) if from_level1_parent
+                       else _ordered_triples(view))
+            if exclude is None:
+                exclude = frozenset(req.path + (view.ident,))
+            for ident, lvl, e in triples:
+                if ident in exclude:
+                    continue
+                d = ident - target if ident >= target else target - ident
+                if radii is not None and lvl > 0:
+                    radius = radii[lvl if lvl <= height else height]
+                    d = 0.0 if d <= radius else d - radius
+                if d < best_d:
+                    best, best_d = e, d
+        own = view.ident
+        d_here = own - target if own >= target else target - own
+        if radii is not None:
+            lvl = view.max_level
+            if lvl > 0:
+                radius = radii[lvl if lvl <= height else height]
+                d_here = 0.0 if d_here <= radius else d_here - radius
+    else:  # pragma: no cover - custom spaces keep the generic path
+        if exclude is None:
+            exclude = frozenset(req.path + (view.ident,))
+        entries = (_level_zero_entries(view) if from_level1_parent
+                   else _ordered_entries(view))
+        for e in entries:
+            if e.ident in exclude:
+                continue
+            d = _metric(view, e.ident, e.max_level, target, euclid)
+            if d < best_d:
+                best, best_d = e, d
+        d_here = _metric(view, view.ident, view.max_level, req.target, euclid)
 
     if best is not None:
         # Fig. 3's forwarding cascade.
@@ -234,24 +468,28 @@ def _route_greedy(
         if req.from_parent_level == view.max_level + 1:
             # Query descending from our own parent: keep descending.
             return Decision.forward(best.ident)
+        if exclude is None:
+            exclude = frozenset(req.path + (view.ident,))
         esc = _escalate(view, req, exclude, euclid, d_here)
         if esc is not None:
             return Decision.forward(esc)
         child = _closest_child(view, req.target, exclude)
         if child is not None:
             return Decision.forward(child)
-        return Decision.not_found()
+        return _NOT_FOUND
 
     # No candidate at all (every known peer already visited).
     if from_level1_parent:
-        return Decision.not_found()
+        return _NOT_FOUND
+    if exclude is None:
+        exclude = frozenset(req.path + (view.ident,))
     child = _closest_child(view, req.target, exclude)
     if child is not None:
         return Decision.forward(child)
     esc = _escalate(view, req, exclude, euclid, d_here)
     if esc is not None:
         return Decision.forward(esc)
-    return Decision.not_found()
+    return _NOT_FOUND
 
 
 def _closest_child(view: NodeView, target: int, exclude: frozenset[int]) -> Optional[int]:
@@ -335,7 +573,7 @@ def _route_non_greedy(
             rest = tuple(a for a in live_alts if a != nxt)
             return Decision.forward(nxt, alternates=rest)
 
-    return Decision.not_found()
+    return _NOT_FOUND
 
 
 # ---------------------------------------------------------------------------
@@ -361,6 +599,15 @@ def greedy_key_next_hop(
     """
     space = view.config.space
     best: Optional[int] = None
+    if type(space) is IdSpace:  # stock 1-D space: inline |a - b|
+        best_d = abs(view.ident - key_id) if improving_only else None
+        for ident in view.table._entries:
+            if ident in exclude:
+                continue
+            d = abs(ident - key_id)
+            if best_d is None or d < best_d:
+                best, best_d = ident, d
+        return best
     best_d = space.distance(view.ident, key_id) if improving_only else None
     for e in view.table.candidates():
         if e.ident in exclude:

@@ -54,7 +54,7 @@ from repro.sim.network import Datagram, Process
 from repro.sim.trace import NULL_TRACER, Tracer
 
 
-@dataclass
+@dataclass(slots=True)
 class PendingLookup:
     """Origin-side record of an in-flight lookup."""
 
@@ -177,18 +177,38 @@ class TreePNode(Process):
         return len(self.children_by_level.get(level, ()))
 
     # ------------------------------------------------------------ dispatch
+    #: payload type -> bound-to-class ``_on_<Type>`` method (or None),
+    #: built lazily per class — ``__init_subclass__`` gives every subclass
+    #: its own dict so an overriding ``_on_<Type>`` is re-resolved there.
+    _builtin_dispatch: Dict[type, Optional[Callable]] = {}
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        cls._builtin_dispatch = {}
+
     def on_datagram(self, dgram: Datagram) -> None:
+        """Dispatch *dgram* by payload type: service handlers first, then
+        the built-in ``_on_<Type>`` methods via a per-class dict built
+        lazily on first sight of each payload type (the ``getattr`` with a
+        per-message f-string it replaces dominated dispatch profiles at
+        10k nodes)."""
         payload = dgram.payload
-        registered = self.handlers.get(type(payload))
+        ptype = type(payload)
+        registered = self.handlers.get(ptype)
         if registered is not None:
             registered(dgram.src, payload)
             return
-        handler = getattr(self, f"_on_{type(payload).__name__}", None)
+        cache = self._builtin_dispatch
+        try:
+            handler = cache[ptype]
+        except KeyError:
+            cls = type(self)
+            handler = cache[ptype] = getattr(cls, f"_on_{ptype.__name__}", None)
         if handler is None:
             self.tracer.record(self.sim.now, "drop", self.ident,
-                               f"no handler for {type(payload).__name__}")
+                               f"no handler for {ptype.__name__}")
             return
-        handler(dgram.src, payload)
+        handler(self, dgram.src, payload)
 
     # -------------------------------------------------------------- lookups
     def issue_lookup(
@@ -254,12 +274,14 @@ class TreePNode(Process):
         if decision.kind is DecisionKind.FORWARD:
             assert decision.next_hop is not None
             nxt = decision.next_hop
-            entry = self.table.get(nxt)
+            table = self.table
             from_parent_level = 0
-            if nxt in self.table.children and entry is not None:
-                # We are the next hop's parent: it sees the request as
-                # "coming from the parent of level (its max level + 1)".
-                from_parent_level = entry.max_level + 1
+            if nxt in table.children:
+                entry = table._entries.get(nxt)
+                if entry is not None:
+                    # We are the next hop's parent: it sees the request as
+                    # "coming from the parent of level (its max level + 1)".
+                    from_parent_level = entry.max_level + 1
             fwd = LookupRequest(
                 request_id=req.request_id, origin=req.origin, target=req.target,
                 algo=req.algo, ttl=req.ttl + 1,

@@ -27,11 +27,11 @@ refreshes every role it appears under at once.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
 
 
-@dataclass
+@dataclass(slots=True)
 class Entry:
     """What a node knows about one peer."""
 
@@ -49,6 +49,169 @@ class Entry:
         return (self.ident, self.max_level, self.score, self.nc, self.last_seen)
 
 
+class _RoleSet(set):
+    """A ``set`` that bumps its owning table's :attr:`RoutingTable.version`
+    on every *effective* mutation.
+
+    The role sets are mutated directly all over the protocol engine
+    (``table.level0.discard(...)``, ``table.children.discard(...)`` …), so
+    versioning must live in the container rather than in ``RoutingTable``
+    methods — otherwise any direct mutation would silently invalidate the
+    candidate-order caches the router keeps per version (see
+    :func:`repro.core.lookup._ordered_candidates`).
+    """
+
+    __slots__ = ("_owner",)
+
+    def __init__(self, owner: "RoutingTable", iterable: Iterable[int] = ()) -> None:
+        super().__init__(iterable)
+        self._owner = owner
+
+    # -- effective mutations bump; no-op mutations don't --------------------
+    def add(self, item: int) -> None:
+        if item not in self:
+            self._owner._version += 1
+            set.add(self, item)
+
+    def discard(self, item: int) -> None:
+        if item in self:
+            self._owner._version += 1
+            set.discard(self, item)
+
+    def remove(self, item: int) -> None:
+        self._owner._version += 1
+        set.remove(self, item)
+
+    def pop(self) -> int:
+        self._owner._version += 1
+        return set.pop(self)
+
+    def clear(self) -> None:
+        if self:
+            self._owner._version += 1
+        set.clear(self)
+
+    # -- bulk mutations bump unconditionally (over-invalidation is safe) ----
+    def update(self, *others) -> None:
+        self._owner._version += 1
+        set.update(self, *others)
+
+    def __ior__(self, other):
+        self._owner._version += 1
+        return set.__ior__(self, other)
+
+    def difference_update(self, *others) -> None:
+        self._owner._version += 1
+        set.difference_update(self, *others)
+
+    def __isub__(self, other):
+        self._owner._version += 1
+        return set.__isub__(self, other)
+
+    def intersection_update(self, *others) -> None:
+        self._owner._version += 1
+        set.intersection_update(self, *others)
+
+    def __iand__(self, other):
+        self._owner._version += 1
+        return set.__iand__(self, other)
+
+    def symmetric_difference_update(self, other) -> None:
+        self._owner._version += 1
+        set.symmetric_difference_update(self, other)
+
+    def __ixor__(self, other):
+        self._owner._version += 1
+        return set.__ixor__(self, other)
+
+
+class _LevelTables(dict):
+    """``level -> _RoleSet`` mapping that keeps assignments versioned.
+
+    The repair policies install whole fresh buses at once
+    (``table.level_tables[lvl] = {...}``); wrapping the assigned set keeps
+    later in-place mutations versioned too.
+    """
+
+    __slots__ = ("_owner",)
+
+    def __init__(self, owner: "RoutingTable") -> None:
+        super().__init__()
+        self._owner = owner
+
+    def __setitem__(self, level: int, ids: Iterable[int]) -> None:
+        self._owner._version += 1
+        dict.__setitem__(self, level, _RoleSet(self._owner, ids))
+
+    def setdefault(self, level: int, default: Iterable[int] = ()) -> "_RoleSet":
+        got = dict.get(self, level)
+        if got is None:
+            got = _RoleSet(self._owner, default)
+            self._owner._version += 1
+            dict.__setitem__(self, level, got)
+        return got
+
+    def __delitem__(self, level: int) -> None:
+        if level in self:
+            self._owner._version += 1
+        dict.__delitem__(self, level)
+
+    def pop(self, level: int, *default):
+        if level in self:
+            self._owner._version += 1
+        return dict.pop(self, level, *default)
+
+    def clear(self) -> None:
+        if self:
+            self._owner._version += 1
+        dict.clear(self)
+
+    def update(self, *args, **kwargs) -> None:
+        for mapping in (*args, kwargs):
+            items = mapping.items() if hasattr(mapping, "items") else mapping
+            for level, ids in items:
+                self[level] = ids
+
+
+class _ParentMap(dict):
+    """``level -> parent id`` mapping with versioned writes."""
+
+    __slots__ = ("_owner",)
+
+    def __init__(self, owner: "RoutingTable") -> None:
+        super().__init__()
+        self._owner = owner
+
+    def __setitem__(self, level: int, ident: int) -> None:
+        if dict.get(self, level) != ident:
+            self._owner._version += 1
+        dict.__setitem__(self, level, ident)
+
+    def __delitem__(self, level: int) -> None:
+        if level in self:
+            self._owner._version += 1
+        dict.__delitem__(self, level)
+
+    def pop(self, level: int, *default):
+        if level in self:
+            self._owner._version += 1
+        return dict.pop(self, level, *default)
+
+    def clear(self) -> None:
+        if self:
+            self._owner._version += 1
+        dict.clear(self)
+
+    def update(self, *args, **kwargs) -> None:
+        self._owner._version += 1
+        dict.update(self, *args, **kwargs)
+
+    def setdefault(self, level: int, default: int = None):  # pragma: no cover
+        if level not in self:
+            self._owner._version += 1
+        return dict.setdefault(self, level, default)
+
+
 class RoutingTable:
     """All routing state of one TreeP node.
 
@@ -60,21 +223,55 @@ class RoutingTable:
     def __init__(self, owner: int) -> None:
         self.owner = owner
         self._entries: Dict[int, Entry] = {}
+        #: Monotonic counter bumped by every role-membership change; the
+        #: router's per-node candidate-order caches key on it (any hit at
+        #: an unchanged version is guaranteed to see the same role sets).
+        self._version: int = 0
+        #: Version-keyed memo space for derived views of this table
+        #: (see :mod:`repro.core.lookup`): name -> (version, value).
+        self.cache: Dict[str, Tuple[int, Any]] = {}
         #: level-0 neighbours (table 1).
-        self.level0: Set[int] = set()
+        self.level0: Set[int] = _RoleSet(self)
         #: indirect level-0 knowledge — neighbours of neighbours, the
         #: replication that lets a node relink when a direct link dies.
-        self.level0_indirect: Set[int] = set()
+        self.level0_indirect: Set[int] = _RoleSet(self)
         #: per-level bus neighbourhood (table 2): level -> ids.
-        self.level_tables: Dict[int, Set[int]] = {}
+        self.level_tables: Dict[int, Set[int]] = _LevelTables(self)
         #: own children (table 3, first half).
-        self.children: Set[int] = set()
+        self.children: Set[int] = _RoleSet(self)
         #: children of direct bus neighbours (table 3, second half).
-        self.neighbour_children: Set[int] = set()
+        self.neighbour_children: Set[int] = _RoleSet(self)
         #: parent at each level this node belongs to (tables 4 + per-level).
-        self.parents: Dict[int, int] = {}
+        self.parents: Dict[int, int] = _ParentMap(self)
         #: ancestors + parent's direct neighbours (table 5).
-        self.superiors: Set[int] = set()
+        self.superiors: Set[int] = _RoleSet(self)
+
+    @property
+    def version(self) -> int:
+        """Role-membership version (bumps on any add/remove in any table)."""
+        return self._version
+
+    #: Role attributes whose rebinding must stay versioned (the repair
+    #: policies rebuild whole roles by assignment: ``t.superiors = fresh``).
+    _WRAPPED_ROLES = frozenset((
+        "level0", "level0_indirect", "children", "neighbour_children",
+        "superiors"))
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        if name in RoutingTable._WRAPPED_ROLES and not isinstance(value, _RoleSet):
+            self._version += 1
+            value = _RoleSet(self, value)
+        elif name == "level_tables" and not isinstance(value, _LevelTables):
+            wrapped = _LevelTables(self)
+            wrapped.update(value)
+            self._version += 1
+            value = wrapped
+        elif name == "parents" and not isinstance(value, _ParentMap):
+            wrapped = _ParentMap(self)
+            dict.update(wrapped, value)
+            self._version += 1
+            value = wrapped
+        object.__setattr__(self, name, value)
 
     # ----------------------------------------------------------- entry CRUD
     def upsert(
@@ -93,7 +290,11 @@ class RoutingTable:
             e = Entry(ident=ident, last_seen=now)
             self._entries[ident] = e
         e.touch(now)
-        if max_level is not None:
+        if max_level is not None and max_level != e.max_level:
+            # The router's candidate caches key on the version and memoise
+            # (ident, max_level) pairs — a level change via gossip/keep-alive
+            # metadata must invalidate them exactly like a role change.
+            self._version += 1
             e.max_level = max_level
         if score is not None:
             e.score = score

@@ -40,7 +40,7 @@ from repro.sim.rng import RngRegistry
 from repro.sim.trace import NULL_TRACER, Tracer
 
 
-@dataclass
+@dataclass(slots=True)
 class RequestTrail:
     """Measurement-only record of one request's progress through the overlay.
 

@@ -135,12 +135,23 @@ class Simulator:
         """Run until idle, returning the number of events fired.
 
         Unlike :meth:`run`, enforces a hard event budget so protocol bugs
-        (e.g. two nodes ping-ponging updates forever) fail loudly.
+        (e.g. two nodes ping-ponging updates forever) fail loudly.  The
+        loop inlines :meth:`step` — one bound-method call per event is
+        measurable across the million-event drains of the scale benches.
         """
         fired = 0
+        queue = self._queue
         while fired < max_events:
-            if not self.step():
+            ev = queue.pop()
+            if ev is None:
                 return fired
+            if ev.time < self._now:
+                raise SimulationError(
+                    f"event {ev.label!r} scheduled at {ev.time} < now {self._now}"
+                )
+            self._now = ev.time
+            self._event_count += 1
+            ev.callback()
             fired += 1
         raise SimulationError(f"drain exceeded {max_events} events")
 

@@ -1,15 +1,25 @@
 """Event records and the simulator's priority queue.
 
-The queue is a plain binary heap (``heapq``) of small tuples.  Events firing
-at the same timestamp are ordered by a monotonically increasing sequence
-number, which makes every run fully deterministic: two events scheduled at
-the same time always fire in scheduling order.
+The queue is a binary heap (``heapq``) of :class:`Event` records.  Events
+firing at the same timestamp are ordered by a monotonically increasing
+sequence number, which makes every run fully deterministic: two events
+scheduled at the same time always fire in scheduling order.
+
+Cancellation is *lazy* (O(1)): a cancelled event is only marked, and the
+pop path discards it when it surfaces.  To keep the heap bounded under
+heavy timer churn (services arming and cancelling ``ctx.every`` tasks far
+faster than their periods elapse — see ``cluster/registry.py``), the queue
+**compacts** itself whenever tombstones outnumber live events: dead
+entries are filtered out and the heap is rebuilt in O(live).  Because
+every entry carries a unique ``(time, seq)`` key, compaction can never
+change the order in which live events pop — rebuild-then-heapify yields
+the same total order, so simulation results are bit-identical with or
+without compaction.  The amortised cost per cancel is O(1).
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
@@ -17,8 +27,12 @@ from typing import Any, Callable, Optional
 #: closures or ``functools.partial``.
 Callback = Callable[[], None]
 
+#: Compaction never bothers with heaps smaller than this (the rebuild
+#: would cost more than the memory it reclaims).
+_COMPACT_MIN = 64
 
-@dataclass(order=True)
+
+@dataclass(eq=False, slots=True)
 class Event:
     """A scheduled callback.
 
@@ -31,29 +45,44 @@ class Event:
     callback:
         Zero-argument callable invoked when the event fires.
     cancelled:
-        Cancelled events stay in the heap but are skipped when popped
-        (lazy deletion — O(1) cancel).
+        Cancelled events stay in the heap (bounded by compaction) and are
+        skipped when popped (lazy deletion — O(1) cancel).
     label:
         Optional human-readable tag used by traces and error messages.
     """
 
     time: float
     seq: int
-    callback: Callback = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    label: str = field(default="", compare=False)
-    _queue: Optional["EventQueue"] = field(default=None, compare=False, repr=False)
+    callback: Callback
+    cancelled: bool = False
+    label: str = ""
+    _queue: Optional["EventQueue"] = field(default=None, repr=False)
+
+    def __lt__(self, other: "Event") -> bool:
+        # API-level ordering by (time, seq), kept for callers sorting
+        # event collections.  NOT the heap hot path: EventQueue compares
+        # (time, seq, Event) tuples, which never reach this method.
+        t, o = self.time, other.time
+        if t != o:
+            return t < o
+        return self.seq < other.seq
 
     def cancel(self) -> None:
-        """Mark the event so the queue skips it.  Idempotent."""
+        """Mark the event so the queue skips it.  Idempotent, amortised O(1)."""
         if not self.cancelled:
             self.cancelled = True
             if self._queue is not None:
-                self._queue._live -= 1
+                self._queue._note_cancel()
 
 
 class EventQueue:
-    """Binary-heap event queue with lazy cancellation.
+    """Binary-heap event queue with lazy, compacting cancellation.
+
+    Heap entries are plain ``(time, seq, Event)`` tuples rather than the
+    :class:`Event` records themselves: tuple comparison runs entirely in C
+    (float, then int), so the few hundred thousand sift comparisons of a
+    large run never call back into the interpreter.  The unique ``seq``
+    guarantees the third element is never compared.
 
     >>> q = EventQueue()
     >>> e = q.push(1.0, lambda: None, label="hello")
@@ -64,11 +93,11 @@ class EventQueue:
     True
     """
 
-    __slots__ = ("_heap", "_counter", "_live")
+    __slots__ = ("_heap", "_next_seq", "_live")
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
-        self._counter = itertools.count()
+        self._heap: list[tuple] = []
+        self._next_seq = 0
         self._live = 0
 
     def __len__(self) -> int:
@@ -77,13 +106,22 @@ class EventQueue:
     def __bool__(self) -> bool:
         return self._live > 0
 
+    @property
+    def heap_size(self) -> int:
+        """Physical heap length, tombstones included (observability: the
+        bounded-heap regression tests assert ``heap_size`` stays within a
+        constant factor of ``len(queue)``)."""
+        return len(self._heap)
+
     def push(self, time: float, callback: Callback, label: str = "") -> Event:
         """Schedule *callback* at absolute simulated *time*."""
         if time != time:  # NaN guard: a NaN timestamp would corrupt the heap
             raise ValueError("event time must not be NaN")
-        ev = Event(time=time, seq=next(self._counter), callback=callback, label=label)
+        seq = self._next_seq
+        self._next_seq = seq + 1
+        ev = Event(time=time, seq=seq, callback=callback, label=label)
         ev._queue = self
-        heapq.heappush(self._heap, ev)
+        heapq.heappush(self._heap, (time, seq, ev))
         self._live += 1
         return ev
 
@@ -93,8 +131,9 @@ class EventQueue:
         Cancelled events are discarded transparently; a single ``pop`` may
         discard many cancelled entries but returns at most one live event.
         """
-        while self._heap:
-            ev = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            ev = heapq.heappop(heap)[2]
             if ev.cancelled:
                 continue
             self._live -= 1
@@ -103,16 +142,35 @@ class EventQueue:
 
     def peek_time(self) -> Optional[float]:
         """Time of the earliest live event, or ``None`` when empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None
 
     def clear(self) -> None:
         """Drop every pending event."""
-        for ev in self._heap:
+        for _, _, ev in self._heap:
             ev._queue = None  # detach so late cancels cannot corrupt _live
         self._heap.clear()
         self._live = 0
+
+    # ------------------------------------------------------------ internals
+    def _note_cancel(self) -> None:
+        """Account one cancellation; compact when tombstones dominate.
+
+        Keeps ``heap_size <= max(2 * live, _COMPACT_MIN)`` at all times, so
+        a service that arms and cancels timers in a tight loop cannot grow
+        the heap without bound while the cancelled firing times are still
+        far in the virtual future.  Compaction rebuilds the heap from the
+        live entries in O(live); the unique ``(time, seq)`` keys mean the
+        rebuilt heap pops in exactly the same order, so results are
+        bit-identical with or without it.
+        """
+        self._live -= 1
+        heap = self._heap
+        if len(heap) > _COMPACT_MIN and len(heap) - self._live > self._live:
+            self._heap = [item for item in heap if not item[2].cancelled]
+            heapq.heapify(self._heap)
 
 
 def make_callback(fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Callback:

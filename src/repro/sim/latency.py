@@ -47,7 +47,17 @@ class ConstantLatency(LatencyModel):
 
 
 class UniformLatency(LatencyModel):
-    """Latency uniform in ``[low, high]`` — a crude WAN model."""
+    """Latency uniform in ``[low, high]`` — a crude WAN model.
+
+    Samples are drawn from the generator in blocks: NumPy fills an array
+    with exactly the same per-element doubles (same bit-generator stream,
+    same ``low + (high - low) * u`` transform) as repeated scalar
+    ``uniform`` calls, so blocked and scalar sampling produce identical
+    sequences while amortising the per-call NumPy dispatch overhead —
+    which is material when every datagram of a 10k-node run samples once.
+    """
+
+    _BLOCK = 512
 
     def __init__(self, rng: np.random.Generator, low: float = 0.005, high: float = 0.05) -> None:
         if not 0 < low <= high:
@@ -55,9 +65,18 @@ class UniformLatency(LatencyModel):
         self.rng = rng
         self.low = float(low)
         self.high = float(high)
+        self._block: list = []
+        self._next = 0
 
     def sample(self, src: int, dst: int) -> float:
-        return float(self.rng.uniform(self.low, self.high))
+        i = self._next
+        block = self._block
+        if i >= len(block):
+            block = self._block = self.rng.uniform(
+                self.low, self.high, size=self._BLOCK).tolist()
+            i = 0
+        self._next = i + 1
+        return block[i]
 
     def expected(self) -> float:
         return 0.5 * (self.low + self.high)

@@ -16,6 +16,7 @@ overhead benches read to compare control traffic between configurations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Any, Callable, Dict, Optional, Set
 
 import numpy as np
@@ -24,7 +25,7 @@ from repro.sim.engine import Simulator
 from repro.sim.latency import ConstantLatency, LatencyModel
 
 
-@dataclass
+@dataclass(slots=True)
 class Datagram:
     """One simulated UDP packet."""
 
@@ -33,6 +34,21 @@ class Datagram:
     payload: Any
     send_time: float
     size: int = 0  # approximate wire size in bytes, for overhead accounting
+
+
+#: type -> (type name, event label) — computed once per payload type so the
+#: per-datagram path never re-derives ``type(payload).__name__`` or
+#: re-formats the scheduling label (both showed up in 10k-node profiles).
+_TYPE_META: Dict[type, tuple] = {}
+
+
+def _type_meta(ptype: type) -> tuple:
+    meta = _TYPE_META.get(ptype)
+    if meta is None:
+        name = ptype.__name__
+        meta = (name, f"dgram:{name}")
+        _TYPE_META[ptype] = meta
+    return meta
 
 
 class Process:
@@ -66,7 +82,7 @@ class Process:
         raise NotImplementedError
 
 
-@dataclass
+@dataclass(slots=True)
 class NetworkStats:
     """Aggregate traffic counters."""
 
@@ -191,28 +207,31 @@ class Network:
     # ------------------------------------------------------------------ I/O
     def send(self, src: int, dst: int, payload: Any) -> None:
         """Inject one datagram.  A down *src* cannot send."""
-        self.stats.sent += 1
-        tname = type(payload).__name__
-        self.stats.by_type[tname] = self.stats.by_type.get(tname, 0) + 1
+        stats = self.stats
+        stats.sent += 1
+        tname, label = _type_meta(type(payload))
+        by_type = stats.by_type
+        by_type[tname] = by_type.get(tname, 0) + 1
         size = getattr(payload, "wire_size", 64)
-        self.stats.bytes_sent += size
+        stats.bytes_sent += size
 
         if src in self._down:
-            self.stats.dropped_down += 1
+            stats.dropped_down += 1
             return
         if dst not in self._procs:
-            self.stats.dropped_unknown += 1
+            stats.dropped_unknown += 1
             return
         if self.partition_filter is not None and self.partition_filter(src, dst):
-            self.stats.dropped_partition += 1
+            stats.dropped_partition += 1
             return
         if self.loss > 0.0 and self.rng.random() < self.loss:
-            self.stats.dropped_loss += 1
+            stats.dropped_loss += 1
             return
 
-        dgram = Datagram(src=src, dst=dst, payload=payload, send_time=self.sim.now, size=size)
-        delay = self.latency.sample(src, dst)
-        self.sim.schedule(delay, lambda: self._deliver(dgram), label=f"dgram:{tname}")
+        sim = self.sim
+        dgram = Datagram(src=src, dst=dst, payload=payload, send_time=sim.now, size=size)
+        sim.schedule(self.latency.sample(src, dst),
+                     partial(self._deliver, dgram), label=label)
 
     def _deliver(self, dgram: Datagram) -> None:
         # Destination may have died or left while the packet was in flight.

@@ -1,10 +1,10 @@
 """Tier-1 coverage for the repro.bench harness.
 
 Covers the acceptance surface: the registry lists all 19 legacy
-scenarios, a smoke scenario round-trips through the BenchResult JSON
-envelope, and ``compare`` flags an injected regression while passing
-identical runs.  CLI subcommands are exercised through ``main`` so the
-exit-code contract CI relies on is pinned.
+scenarios plus the four ``scale_*`` sweeps, a smoke scenario round-trips
+through the BenchResult JSON envelope, and ``compare`` flags an injected
+regression while passing identical runs.  CLI subcommands are exercised
+through ``main`` so the exit-code contract CI relies on is pinned.
 """
 
 import json
@@ -26,13 +26,15 @@ from repro.bench import (
 from repro.bench.cli import main
 from repro.bench.result import validate_result_dict
 
-#: Every legacy bench_*.py, as a registered scenario.
+#: Every legacy bench_*.py as a registered scenario, plus the PR-5
+#: ``scale`` group (10k-node sweeps — see docs/performance.md).
 EXPECTED_SCENARIOS = {
     "figure_a", "figure_b", "figure_c", "figure_d", "figure_e",
     "figure_f", "figure_g", "figure_h", "figure_i",
     "ablation_ids", "ablation_demotion", "ablation_fallback",
     "ablation_maintenance",
     "core", "table_sizes", "ngsa_cost", "baselines", "storage", "compute",
+    "scale_lookup", "scale_churn", "scale_quorum_rw", "scale_jobs",
 }
 
 
@@ -40,7 +42,7 @@ EXPECTED_SCENARIOS = {
 
 def test_registry_lists_all_legacy_scenarios():
     assert set(registry.names()) == EXPECTED_SCENARIOS
-    assert len(registry) == 19
+    assert len(registry) == 23
 
 
 def test_every_scenario_declares_a_metrics_schema():

@@ -29,6 +29,25 @@ from repro.core.messages import (
 )
 
 
+def _assert_frozen_and_slotted(m):
+    """Writing any *declared field* must raise, and the instance must be
+    ``__slots__``-only (no per-message ``__dict__`` on the hot path).
+
+    Messages are frozen+slots dataclasses, except the per-hop lookup pair
+    which is a ``NamedTuple`` (tuples refuse assignment with
+    ``AttributeError`` instead of ``FrozenInstanceError``)."""
+    if dataclasses.is_dataclass(m):
+        first_field = dataclasses.fields(m)[0].name
+        expected = dataclasses.FrozenInstanceError
+    else:  # NamedTuple message
+        first_field = m._fields[0]
+        expected = AttributeError
+    with pytest.raises(expected):
+        setattr(m, first_field, 9)
+    assert not hasattr(m, "__dict__"), type(m).__name__
+    assert m.wire_size > 0
+
+
 def test_all_messages_frozen():
     msgs = [
         Hello(0, 1.0, 4), HelloAck(0, 1.0, 4),
@@ -41,9 +60,7 @@ def test_all_messages_frozen():
         ResourceQuery(1, 2), ResourceHit(1),
     ]
     for m in msgs:
-        with pytest.raises(dataclasses.FrozenInstanceError):
-            m.request_id = 9  # type: ignore[misc]
-        assert m.wire_size > 0
+        _assert_frozen_and_slotted(m)
 
 
 def test_keepalive_size_scales_with_entries():
@@ -95,9 +112,7 @@ def test_storage_messages_frozen_and_sized():
         StorePutResult(1, 3, True), StoreGetResult(1, 3, True),
     ]
     for m in msgs:
-        with pytest.raises(dataclasses.FrozenInstanceError):
-            m.request_id = 9  # type: ignore[misc]
-        assert m.wire_size > 0
+        _assert_frozen_and_slotted(m)
 
 
 def test_compute_messages_frozen_and_sized():
@@ -115,20 +130,12 @@ def test_compute_messages_frozen_and_sized():
         JobSubmit,
     )
 
-    frozen = [
-        JobSubmit(1, 2, 3, 4), JobAck(1, 3, 4), JobReport(1, 3, True),
-    ]
-    for m in frozen:
-        with pytest.raises(dataclasses.FrozenInstanceError):
-            m.request_id = 9  # type: ignore[misc]
-        assert m.wire_size > 0
-    for m in [JobDispatch(3, 4, 1), JobAccepted(3, 5, 1),
+    for m in [JobSubmit(1, 2, 3, 4), JobAck(1, 3, 4), JobReport(1, 3, True),
+              JobDispatch(3, 4, 1), JobAccepted(3, 5, 1),
               JobRejected(3, 5, 1), JobHeartbeat(3, 5, 1, 2.5),
               JobComplete(3, 5, 1, 10.0), JobLease(3, 1),
               JobStealRequest(5, 2.0), JobStealGrant(3, 5, 4, 1)]:
-        with pytest.raises(dataclasses.FrozenInstanceError):
-            m.job_id = 9  # type: ignore[misc]
-        assert m.wire_size > 0
+        _assert_frozen_and_slotted(m)
 
 
 def test_job_submit_size_scales_with_deps():

@@ -24,8 +24,32 @@ def test_readme_and_docs_have_no_broken_links():
 
 
 def test_docs_pages_exist():
-    for page in ("architecture.md", "api.md", "benchmarks.md"):
+    for page in ("architecture.md", "api.md", "benchmarks.md",
+                 "performance.md"):
         assert os.path.exists(os.path.join(REPO_ROOT, "docs", page)), page
+
+
+def test_benchmarks_catalogue_covers_scale_scenarios():
+    """Drift pin: the generated catalogue embedded in docs/benchmarks.md
+    must list the scale_* sweeps (regenerate with
+    `python -m repro.bench report --scenarios-only` after changes)."""
+    with open(os.path.join(REPO_ROOT, "docs", "benchmarks.md")) as fh:
+        doc = fh.read()
+    for name in ("scale_lookup", "scale_churn", "scale_quorum_rw",
+                 "scale_jobs"):
+        assert f"`{name}`" in doc, f"{name} missing from the catalogue"
+    assert "performance.md" in doc  # the scale docs cross-link
+
+
+def test_performance_doc_records_the_before_after_pair():
+    """docs/performance.md must keep pointing at the committed PR-5
+    trajectory pair, and the pair must exist."""
+    with open(os.path.join(REPO_ROOT, "docs", "performance.md")) as fh:
+        doc = fh.read()
+    for rel in ("benchmarks/out/pre_pr5/bench_scale_lookup.json",
+                "benchmarks/out/bench_scale_lookup.json"):
+        assert rel in doc, f"{rel} no longer referenced"
+        assert os.path.exists(os.path.join(REPO_ROOT, rel)), rel
 
 
 def test_checker_catches_a_broken_link(tmp_path):
