@@ -34,6 +34,12 @@ Public surface:
   scenarios — including the ``scale_*`` 10k-node sweeps behind
   ``docs/performance.md`` — writing versioned ``BenchResult`` JSON to
   ``benchmarks/out/`` (the repo's perf trajectory).
+* :mod:`repro.obs` — the unified observability layer: span/event tracing
+  across lookups, quorum RW, anti-entropy and job lifecycles
+  (``Cluster(...).with_observability()`` or ``--trace-out`` on the bench
+  CLI), a metrics registry with streaming quantile histograms, a columnar
+  on-disk trace store, and ``python -m repro.obs summary|timeline|
+  slowest|export`` to query it — see ``docs/observability.md``.
 
 See README.md for the module map ("Module map") and the per-subsystem
 overviews, and ``docs/`` for the architecture, API, benchmark and performance guides;
@@ -48,9 +54,10 @@ from repro.core.config import TreePConfig
 from repro.core.ids import IdSpace
 from repro.core.lookup import LookupAlgorithm, LookupResult
 from repro.core.treep import TreePNetwork
+from repro.obs import MetricsRegistry, ObsHub, TraceReader
 from repro.storage import AntiEntropy, QuorumConfig, ReplicatedStore
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "AntiEntropy",
@@ -63,12 +70,15 @@ __all__ = [
     "JobSpec",
     "LookupAlgorithm",
     "LookupResult",
+    "MetricsRegistry",
     "NodeCapacity",
+    "ObsHub",
     "QuorumConfig",
     "ReplicatedStore",
     "Service",
     "ServiceContext",
     "ServiceError",
+    "TraceReader",
     "TreePConfig",
     "TreePNetwork",
     "__version__",

@@ -65,6 +65,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="report failed checks without failing the run")
     run_p.add_argument("--quiet", action="store_true",
                        help="suppress the rendered figures/tables")
+    run_p.add_argument("--trace-out", default=None, metavar="DIR",
+                       help="record an observability trace per scenario to "
+                            "DIR/trace_<name>.npz (query with "
+                            "`python -m repro.obs summary`)")
 
     cmp_p = sub.add_parser("compare", help="diff two results, flag regressions")
     cmp_p.add_argument("old", help="baseline: a bench_*.json file or directory")
@@ -130,13 +134,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
     failed_scenarios: List[str] = []
     for name in names:
         result = run_scenario(name, seed=args.seed, smoke=args.smoke,
-                              overrides=overrides or None, out_dir=out_dir)
+                              overrides=overrides or None, out_dir=out_dir,
+                              trace_out=args.trace_out)
         failed = result.failed_checks()
         status = "ok" if not failed else f"{len(failed)} CHECK(S) FAILED"
         suffix = ".smoke.json" if args.smoke else ".json"
         print(f"[{result.scenario}] {status} — {result.wall_time_s:.2f}s, "
               f"{len(result.metrics)} metrics"
               + (f" -> {out_dir}/bench_{name}{suffix}" if out_dir else ""))
+        if result.obs:
+            print(f"  trace: {result.obs['trace_file']} "
+                  f"({result.obs['runs']} run(s), {result.obs['spans']} "
+                  f"spans, {result.obs['events']} events)")
         if not args.quiet and result.rendered:
             print(result.rendered)
             print()

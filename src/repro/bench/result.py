@@ -59,6 +59,10 @@ class BenchResult:
     unix_time: float = 0.0
     schema: str = SCHEMA
     rendered: str = ""  # not serialised; kept for the caller
+    #: Observability sidecar (``--trace-out`` runs only): trace-file path,
+    #: span/event counts, per-category totals, metrics snapshot.  Optional —
+    #: absent from untraced envelopes, so trajectories stay diffable.
+    obs: Dict[str, Any] = field(default_factory=dict)
 
     # --------------------------------------------------------- construction
     @classmethod
@@ -84,7 +88,7 @@ class BenchResult:
 
     # -------------------------------------------------------- serialisation
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "schema": self.schema,
             "scenario": self.scenario,
             "group": self.group,
@@ -97,11 +101,16 @@ class BenchResult:
             "checks": self.checks,
             "unix_time": self.unix_time,
         }
+        if self.obs:
+            out["obs"] = self.obs
+        return out
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "BenchResult":
         validate_result_dict(data)
-        return cls(**{k: data[k] for k in REQUIRED_FIELDS})
+        kwargs = {k: data[k] for k in REQUIRED_FIELDS}
+        kwargs["obs"] = dict(data.get("obs", {}))
+        return cls(**kwargs)
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), indent=2, sort_keys=True)
@@ -155,6 +164,8 @@ def validate_result_dict(data: Mapping[str, Any]) -> None:
             raise ValueError(f"malformed check entry: {check!r}")
     if not isinstance(data["params"], dict):
         raise ValueError("BenchResult.params must be an object")
+    if "obs" in data and not isinstance(data["obs"], dict):
+        raise ValueError("BenchResult.obs must be an object when present")
 
 
 def load_results(path: str) -> Dict[str, BenchResult]:

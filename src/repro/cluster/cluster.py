@@ -38,6 +38,8 @@ from repro.sim.trace import NULL_TRACER, Tracer
 if TYPE_CHECKING:  # pragma: no cover
     from repro.compute.job import ComputeConfig
     from repro.compute.scheduler import JobScheduler
+    from repro.obs.hub import ObsHub
+    from repro.obs.service import Observability
     from repro.core.capacity import NodeCapacity
     from repro.core.hierarchy import HierarchyLayout
     from repro.core.ids import AssignStrategy
@@ -207,6 +209,25 @@ class Cluster:
         self.state.attach(JobScheduler(config=config, quorum=quorum))
         return self
 
+    def with_observability(
+        self,
+        categories: Optional[Iterable[str]] = None,
+        hub: Optional["ObsHub"] = None,
+    ) -> "Cluster":
+        """Attach the observability layer (span tracing + metrics).
+
+        Records into its own :class:`~repro.obs.hub.ObsHub` (or *hub* when
+        given); read it back via :attr:`obs`, or write a trace store with
+        ``cluster.observability.write(path)``.  Instrumentation draws no
+        randomness and schedules no events, so enabling it never changes a
+        seeded run's outcome.
+        """
+        from repro.obs.service import Observability
+
+        self._require_built("with_observability")
+        self.state.attach(Observability(categories=categories, hub=hub))
+        return self
+
     # ------------------------------------------------------ typed accessors
     @property
     def dht(self) -> "TreePDht":
@@ -231,6 +252,15 @@ class Cluster:
     @property
     def compute(self) -> "JobScheduler":
         return self._get("compute", "with_compute()")  # type: ignore[return-value]
+
+    @property
+    def observability(self) -> "Observability":
+        return self._get("observability", "with_observability()")  # type: ignore[return-value]
+
+    @property
+    def obs(self) -> "ObsHub":
+        """The attached observability hub (spans, events, metrics)."""
+        return self.observability.hub
 
     # ------------------------------------------------------- overlay driving
     @property

@@ -56,6 +56,7 @@ from repro.core.messages import (
     JobSubmit,
 )
 from repro.metrics.scheduling import SchedulingStats
+from repro.obs.metrics import MetricsRegistry
 from repro.services.discovery import Constraint, ResourceDirectory
 from repro.storage.quorum import QuorumConfig, ReplicatedStore
 
@@ -175,8 +176,8 @@ class SchedulerCore:
         )
         rec.placement_hops += res.hops
         rec.placements += 1
-        self.service.placement_hops_total += res.hops
-        self.service.placements_total += 1
+        self.service._m_placement_hops.inc(res.hops)
+        self.service._m_placements.inc()
         candidates = [c for c in res.matches if self._up(c) and c not in exclude]
         if not candidates:
             rec.no_candidate_rounds += 1
@@ -199,6 +200,9 @@ class SchedulerCore:
         rec.state = JobState.RUNNING
         rec.worker = worker
         rec.last_heard = self.node.sim.now
+        obs = self.node.obs
+        if obs is not None:
+            obs.job_place(rec.job_id, worker, self.node.sim.now, rec.attempt)
         self.assigned[worker] = self.assigned.get(worker, 0.0) + rec.cpu_demand
         c = rec.constraint
         self.node.send(worker, JobDispatch(
@@ -253,7 +257,7 @@ class SchedulerCore:
             rec.worker = msg.worker
             self.assigned[msg.worker] = (
                 self.assigned.get(msg.worker, 0.0) + rec.cpu_demand)
-            self.service.steal_reassignments += 1
+            self.service._m_steal_reassignments.inc()
 
     def on_complete(self, src: int, msg: JobComplete) -> None:
         rec = self.records.get(msg.job_id)
@@ -299,7 +303,7 @@ class SchedulerCore:
                     old = rec.worker
                     self._release(rec)
                     rec.reexecutions += 1
-                    self.service.reexecutions += 1
+                    self.service._m_reexecutions.inc()
                     rec.last_heard = now
                     self._dispatch(
                         rec,
@@ -373,16 +377,43 @@ class JobScheduler(Service):
         self.results: Dict[int, JobResult] = {}
         self.scheduler_ident: Optional[int] = None
         # ---- service-wide counters surviving scheduler failover ----
-        self.reexecutions = 0
-        self.steal_reassignments = 0
-        self.failovers = 0
-        self.placement_hops_total = 0
-        self.placements_total = 0
+        # Kept in a metrics registry (the reference migration of an ad-hoc
+        # accounting path); the read-only properties below preserve the
+        # pre-1.6 attribute API and exact integer semantics.
+        self.metrics = MetricsRegistry()
+        self._m_reexecutions = self.metrics.counter("scheduler.reexecutions")
+        self._m_steal_reassignments = self.metrics.counter(
+            "scheduler.steal_reassignments")
+        self._m_failovers = self.metrics.counter("scheduler.failovers")
+        self._m_placement_hops = self.metrics.counter(
+            "scheduler.placement_hops")
+        self._m_placements = self.metrics.counter("scheduler.placements")
         if net is not None:
             if net.layout is None:
                 raise RuntimeError("network must be built first")
             warn_direct_wire("JobScheduler(net, ...)", "Cluster.with_compute(...)")
             attach_service(net, self)
+
+    # Pre-1.6 counter attribute API, now registry-backed.
+    @property
+    def reexecutions(self) -> int:
+        return int(self._m_reexecutions.value)
+
+    @property
+    def steal_reassignments(self) -> int:
+        return int(self._m_steal_reassignments.value)
+
+    @property
+    def failovers(self) -> int:
+        return int(self._m_failovers.value)
+
+    @property
+    def placement_hops_total(self) -> int:
+        return int(self._m_placement_hops.value)
+
+    @property
+    def placements_total(self) -> int:
+        return int(self._m_placements.value)
 
     # ------------------------------------------------------------ lifecycle
     def on_attach(self, ctx: ServiceContext) -> None:
@@ -402,6 +433,8 @@ class JobScheduler(Service):
         self.directory = ctx.require(
             "discovery", factory=ResourceDirectory
         )  # type: ignore[assignment]
+        if ctx.net.obs is not None:
+            ctx.net.obs.adopt_registry(self.name, self.metrics)
 
     def setup_node(self, node) -> None:
         self.agents[node.ident] = ComputeAgent(node, self)
@@ -513,7 +546,7 @@ class JobScheduler(Service):
                 and self.scheduler_core() is not None):
             return False
         self._harvest()
-        self.failovers += 1
+        self._m_failovers.inc()
         self.activate_scheduler()
         for job_id, spec in self.expected.items():
             if job_id in self.results or job_id not in self.client:
@@ -548,6 +581,11 @@ class JobScheduler(Service):
                           else self.net.sim.now),
             last_sent=self.net.sim.now, resume=resume,
         )
+        hub = self.net.obs
+        if hub is not None:
+            # Keyed + idempotent: retries and failover resubmissions extend
+            # the same job span.
+            hub.job_begin(spec.job_id, origin.ident, self.net.sim.now)
         c = spec.constraint
         msg = JobSubmit(
             rid, origin.ident, spec.job_id, self.scheduler_ident,
@@ -595,6 +633,9 @@ class JobScheduler(Service):
             submitted_at=rec.submitted_at if rec is not None else 0.0,
             completed_at=self.net.sim.now,
         )
+        hub = self.net.obs
+        if hub is not None:
+            hub.job_end(msg.job_id, self.net.sim.now, msg.ok, msg.attempts)
 
     def _harvest(self) -> None:
         """Fold terminal records the origin never heard about into results.
@@ -606,6 +647,7 @@ class JobScheduler(Service):
         core = self.scheduler_core()
         if core is None:
             return
+        hub = self.net.obs
         for rec in core.records.values():
             if rec.terminal and rec.job_id not in self.results:
                 crec = self.client.get(rec.job_id)
@@ -619,6 +661,10 @@ class JobScheduler(Service):
                                   if rec.completed_at is not None
                                   else self.net.sim.now),
                 )
+                if hub is not None:
+                    hub.job_end(rec.job_id, self.net.sim.now,
+                                rec.state is JobState.DONE,
+                                max(1, rec.attempt))
 
     def pending_jobs(self) -> List[int]:
         return [jid for jid in self.expected if jid not in self.results]

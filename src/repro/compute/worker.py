@@ -290,6 +290,9 @@ class ComputeAgent:
         held.executed_attempt = 0.0
         remaining = max(held.work - held.resume_from, 1e-9)
         attempt = held.attempt
+        obs = self.node.obs
+        if obs is not None:
+            obs.job_execute_begin(held.job_id, attempt, self.node.ident, now)
         held.done_event = self.node.sim.schedule(
             remaining, lambda: self._complete(held.job_id, attempt),
             label=f"job-done:{held.job_id}",
@@ -313,6 +316,9 @@ class ComputeAgent:
         now = self.node.sim.now
         self._accrue(held, now)
         del self.running[job_id]
+        obs = self.node.obs
+        if obs is not None:
+            obs.job_execute_end(job_id, attempt, now, held.executed_attempt)
         self.node.send(held.scheduler, JobComplete(
             job_id, self.node.ident, attempt, executed=held.executed_attempt))
         self._drain_queue()
@@ -406,6 +412,10 @@ class ComputeAgent:
                             via=self.node.ident,
                         )
                         self.checkpoints_written += 1
+                        obs = self.node.obs
+                        if obs is not None:
+                            obs.job_checkpoint(held.job_id, self.node.ident,
+                                               now, progress)
             if held.done_event is not None:
                 held.done_event.cancel()  # type: ignore[attr-defined]
             if held.load_timeout is not None:
@@ -435,6 +445,10 @@ class ComputeAgent:
                 via=self.node.ident,
             )
             self.checkpoints_written += 1
+            obs = self.node.obs
+            if obs is not None:
+                obs.job_checkpoint(held.job_id, self.node.ident, now,
+                                   progress)
 
     # -------------------------------------------------------- work stealing
     def _steal_tick(self) -> None:

@@ -114,6 +114,9 @@ class TreePNode(Process):
         #: Per-request hop observation hook installed by the harness
         #: (measurement only, never read by routing).
         self.hop_observer: Optional[Callable[[LookupRequest], None]] = None
+        #: Observability hub (see :mod:`repro.obs`); ``None`` keeps every
+        #: instrumentation site to a single attribute check.
+        self.obs = None
         #: The maintenance manager attaches itself here (see maintenance.py).
         self.maintenance = None
         #: Service-registered datagram handlers, keyed by payload type.
@@ -228,6 +231,9 @@ class TreePNode(Process):
             on_done=on_done,
         )
         self.pending[rid] = pend
+        obs = self.obs
+        if obs is not None:
+            obs.lookup_begin(rid, self.ident, self.sim.now)
         pend.timeout_event = self.sim.schedule(
             self.config.lookup_timeout,
             lambda: self._lookup_timeout(rid),
@@ -250,6 +256,10 @@ class TreePNode(Process):
         )
         pend.result = res
         self.results.append(res)
+        obs = self.obs
+        if obs is not None:
+            obs.lookup_end(rid, self.sim.now, found=False, hops=0,
+                           timed_out=True)
         if pend.on_done is not None:
             pend.on_done(res)
 
@@ -318,6 +328,10 @@ class TreePNode(Process):
         )
         pend.result = res
         self.results.append(res)
+        obs = self.obs
+        if obs is not None:
+            obs.lookup_end(reply.request_id, self.sim.now, reply.found,
+                           reply.hops)
         if pend.on_done is not None:
             pend.on_done(res)
 

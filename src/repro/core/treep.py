@@ -33,6 +33,7 @@ from repro.core.maintenance import MaintenanceManager
 from repro.core.messages import LookupRequest
 from repro.core.node import PendingLookup, TreePNode
 from repro.core.tessellation import bus_neighbours, cell_owner
+from repro.obs.runtime import ambient_hub
 from repro.sim.engine import SimulationError, Simulator
 from repro.sim.latency import LatencyModel, UniformLatency
 from repro.sim.network import Network
@@ -88,6 +89,12 @@ class TreePNetwork:
             rng=self.rng.get("loss"),
         )
         self.tracer = tracer
+        #: Observability hub (``None`` unless an ambient capture is active
+        #: or an ``Observability`` service sets it); instrumentation sites
+        #: guard every record behind one ``is not None`` check.
+        self.obs = ambient_hub()
+        if self.obs is not None:
+            self.sim.set_event_hook(self.obs.on_sim_event)
         self.nodes: Dict[int, TreePNode] = {}
         self.ids: List[int] = []
         self.capacities: Dict[int, NodeCapacity] = {}
@@ -198,6 +205,7 @@ class TreePNetwork:
             self.network.register(node)
             self.nodes[ident] = node
             node.hop_observer = self._observe_hop
+            node.obs = self.obs
             for hook in self.node_hooks:
                 hook(node)
 
@@ -209,6 +217,9 @@ class TreePNetwork:
         if req.ttl > trail.max_ttl:
             trail.max_ttl = req.ttl
         trail.last_node = req.path[-1] if req.path else req.origin
+        obs = self.obs
+        if obs is not None:
+            obs.lookup_hop(req.request_id, trail.last_node, self.sim.now, req.ttl)
 
     # ------------------------------------------------------- table install
     def _install_tables(self, layout: HierarchyLayout) -> None:
@@ -448,6 +459,7 @@ class TreePNetwork:
         self.capacities[ident] = cap
         self.ids.append(ident)
         node.hop_observer = self._observe_hop
+        node.obs = self.obs
         for hook in self.node_hooks:
             hook(node)
         bootstrap = via if via is not None else next(

@@ -1,0 +1,54 @@
+"""Unified observability: span tracing, metrics, and the columnar trace store.
+
+Layering contract: this package's core modules (``metrics``, ``columnar``,
+``hub``, ``store``, ``runtime``, ``query``) import only NumPy, the stdlib,
+and each other — never ``repro.core`` or ``repro.cluster`` — so the
+simulation core can import :func:`~repro.obs.runtime.ambient_hub` without a
+cycle.  The two modules that *do* look upward are therefore not imported
+here: :mod:`repro.obs.service` (the attachable ``Observability`` service;
+``Cluster.with_observability`` imports it lazily) and :mod:`repro.obs.cli`
+(the ``python -m repro.obs`` query CLI).
+
+Typical entry points:
+
+* ``Cluster(...).build(n).with_observability()`` then ``cluster.obs`` — the
+  explicit path for library users.
+* ``python -m repro.bench run <scenario> --trace-out DIR`` — ambient capture
+  around a bench scenario; writes ``trace_<scenario>.npz``.
+* ``python -m repro.obs summary <file.npz>`` — query a written store.
+"""
+
+from repro.obs.columnar import StreamBuffer, StringTable
+from repro.obs.hub import (EVENT_SCHEMA, SPAN_SCHEMA, STATUS_FAIL,
+                           STATUS_NAMES, STATUS_OK, STATUS_OPEN,
+                           STATUS_TIMEOUT, ObsHub)
+from repro.obs.metrics import (Counter, Gauge, MetricsRegistry,
+                               QuantileHistogram)
+from repro.obs.runtime import (TraceCapture, active_capture, ambient_hub,
+                               capture)
+from repro.obs.store import SCHEMA, StreamView, TraceReader, write_store
+
+__all__ = [
+    "ObsHub",
+    "SPAN_SCHEMA",
+    "EVENT_SCHEMA",
+    "STATUS_OPEN",
+    "STATUS_OK",
+    "STATUS_FAIL",
+    "STATUS_TIMEOUT",
+    "STATUS_NAMES",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "QuantileHistogram",
+    "StreamBuffer",
+    "StringTable",
+    "SCHEMA",
+    "TraceReader",
+    "StreamView",
+    "write_store",
+    "TraceCapture",
+    "capture",
+    "ambient_hub",
+    "active_capture",
+]

@@ -38,7 +38,8 @@ class Simulator:
     [5.0]
     """
 
-    __slots__ = ("_queue", "_now", "_running", "_event_count", "max_events")
+    __slots__ = ("_queue", "_now", "_running", "_event_count", "max_events",
+                 "_event_hook")
 
     def __init__(self, start_time: float = 0.0) -> None:
         self._queue = EventQueue()
@@ -48,6 +49,7 @@ class Simulator:
         #: Safety valve: ``run`` raises after this many events (protects
         #: against accidental infinite keep-alive loops in tests).
         self.max_events: Optional[int] = None
+        self._event_hook: Optional[Callable[[Event], None]] = None
 
     # ------------------------------------------------------------------ time
     @property
@@ -84,6 +86,17 @@ class Simulator:
         """Schedule *callback* at the current time (after pending same-time events)."""
         return self._queue.push(self._now, callback, label=label)
 
+    def set_event_hook(self, hook: Optional[Callable[[Event], None]]) -> None:
+        """Install (or clear, with ``None``) the per-event observer.
+
+        The observability layer uses this to count event labels and —
+        opt-in — record the raw event stream.  The hook fires after the
+        clock advances and before the callback runs.  It must not schedule
+        events or draw RNG; the hot loops pay one cached ``is not None``
+        check per event when no hook is installed.
+        """
+        self._event_hook = hook
+
     # ------------------------------------------------------------------- run
     def step(self) -> bool:
         """Fire the next event.  Returns ``False`` when the queue is empty."""
@@ -96,6 +109,8 @@ class Simulator:
             )
         self._now = ev.time
         self._event_count += 1
+        if self._event_hook is not None:
+            self._event_hook(ev)
         ev.callback()
         return True
 
@@ -141,6 +156,7 @@ class Simulator:
         """
         fired = 0
         queue = self._queue
+        hook = self._event_hook
         while fired < max_events:
             ev = queue.pop()
             if ev is None:
@@ -151,6 +167,8 @@ class Simulator:
                 )
             self._now = ev.time
             self._event_count += 1
+            if hook is not None:
+                hook(ev)
             ev.callback()
             fired += 1
         raise SimulationError(f"drain exceeded {max_events} events")

@@ -8,8 +8,9 @@ only when debugging, so the RNG isolation guarantee (see
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Optional
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Iterable, List, Optional
 
 
 @dataclass(frozen=True)
@@ -31,7 +32,9 @@ class Tracer:
     Parameters
     ----------
     categories:
-        When given, only these categories are recorded.
+        When given, only these categories are recorded; ``counts`` likewise
+        tallies only recorded categories, so it always matches what is (or
+        was, before the ring buffer wrapped) in ``events``.
     capacity:
         Ring-buffer bound; oldest events are discarded beyond it.
     """
@@ -45,9 +48,9 @@ class Tracer:
             raise ValueError(f"capacity must be > 0, got {capacity}")
         self.categories = set(categories) if categories is not None else None
         self.capacity = capacity
-        self.events: List[TraceEvent] = []
+        self.events: Deque[TraceEvent] = deque(maxlen=capacity)
         self.dropped = 0
-        self.counts: Dict[str, int] = field(default_factory=dict) if False else {}
+        self.counts: Dict[str, int] = {}
 
     def enabled_for(self, category: str) -> bool:
         return self.categories is None or category in self.categories
@@ -60,11 +63,10 @@ class Tracer:
         detail: str = "",
         data: Optional[Dict[str, Any]] = None,
     ) -> None:
-        self.counts[category] = self.counts.get(category, 0) + 1
         if not self.enabled_for(category):
             return
-        if len(self.events) >= self.capacity:
-            self.events.pop(0)
+        self.counts[category] = self.counts.get(category, 0) + 1
+        if len(self.events) == self.capacity:
             self.dropped += 1
         self.events.append(TraceEvent(time, category, node, detail, data))
 
@@ -84,7 +86,7 @@ class Tracer:
 
     def dump(self, limit: int = 50) -> str:
         """Human-readable tail of the trace."""
-        tail = self.events[-limit:]
+        tail = list(self.events)[-limit:]
         return "\n".join(str(e) for e in tail)
 
 

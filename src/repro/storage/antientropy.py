@@ -204,6 +204,9 @@ class AntiEntropy(Service):
                              lost=lost)
         self.reports.append(report)
         self.tracker.record(net.sim.now, rf_by_key)
+        hub = net.obs
+        if hub is not None:
+            hub.sweep(-1, report.time, net.sim.now, len(catalog), repairs)
         return report
 
     #: Virtual seconds one converge pass runs to deliver its repairs — a

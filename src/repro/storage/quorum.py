@@ -470,8 +470,20 @@ class ReplicatedStore(Service):
         key_id = self.key_id(key)
         rid = next(self._rid)  # facade-unique; safe across origins
         agent = self.agents[node.ident]
+        hub = self.net.obs
+        if hub is not None:
+            hub.storage_begin("put", rid, node.ident, self.net.sim.now)
         agent.handle_put(node.ident, StorePut(rid, node.ident, key_id, value, 0))
         reply = self._await_reply(agent, rid, self._put_deadline())
+        if hub is not None:
+            if reply is None:
+                hub.storage_end("put", rid, self.net.sim.now, ok=False,
+                                hops=0, replicas=0, timed_out=True)
+            else:
+                hub.storage_end("put", rid, self.net.sim.now, ok=reply.ok,
+                                hops=reply.hops,
+                                replicas=len(reply.replicas),
+                                timed_out=False)
         if reply is None:
             return StoreResult(key=key, key_id=key_id, ok=False)
         if reply.ok:
@@ -486,8 +498,19 @@ class ReplicatedStore(Service):
         key_id = self.key_id(key)
         rid = next(self._rid)
         agent = self.agents[node.ident]
+        hub = self.net.obs
+        if hub is not None:
+            hub.storage_begin("get", rid, node.ident, self.net.sim.now)
         agent.handle_get(node.ident, StoreGet(rid, node.ident, key_id, 0))
         reply = self._await_reply(agent, rid, self._get_deadline())
+        if hub is not None:
+            if reply is None:
+                hub.storage_end("get", rid, self.net.sim.now, ok=False,
+                                hops=0, replicas=0, timed_out=True)
+            else:
+                hub.storage_end("get", rid, self.net.sim.now, ok=reply.found,
+                                hops=reply.hops, replicas=0,
+                                timed_out=False)
         if reply is None:
             return StoreResult(key=key, key_id=key_id, ok=False)
         return StoreResult(key=key, key_id=key_id, ok=reply.found,

@@ -1,0 +1,120 @@
+"""Unit tests for the metrics registry and the quantile histogram."""
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry, QuantileHistogram
+
+
+def test_counter_inc_and_snapshot():
+    c = Counter("hops")
+    c.inc()
+    c.inc(3)
+    assert c.value == 4
+    assert c.snapshot() == {"hops": 4.0}
+    c.reset()
+    assert c.value == 0
+
+
+def test_gauge_last_write_wins():
+    g = Gauge("depth")
+    g.set(5)
+    g.set(2)
+    assert g.snapshot() == {"depth": 2.0}
+
+
+def test_histogram_empty():
+    h = QuantileHistogram("lat")
+    assert h.quantile(0.5) == 0.0
+    assert h.mean == 0.0 and h.max == 0.0
+    snap = h.snapshot()
+    assert snap["lat.count"] == 0.0
+
+
+def test_histogram_invalid_params():
+    with pytest.raises(ValueError):
+        QuantileHistogram(growth=1.0)
+    with pytest.raises(ValueError):
+        QuantileHistogram(min_value=0.0)
+    with pytest.raises(ValueError):
+        QuantileHistogram().quantile(1.5)
+
+
+def test_histogram_single_value():
+    h = QuantileHistogram("lat")
+    h.observe(0.25)
+    # With one value, every quantile is clamped into [min, max] = {0.25}.
+    assert h.quantile(0.5) == pytest.approx(0.25)
+    assert h.quantile(0.999) == pytest.approx(0.25)
+    assert h.mean == pytest.approx(0.25)
+
+
+@pytest.mark.parametrize("dist", ["uniform", "lognormal", "exponential"])
+def test_histogram_accuracy_bounds(dist):
+    """p50/p99 estimates stay within the documented relative-error bound
+    (sqrt(growth) - 1 per bucket; we allow 5% headroom for rank effects)."""
+    rng = np.random.default_rng(42)
+    if dist == "uniform":
+        values = rng.uniform(0.01, 2.0, size=20_000)
+    elif dist == "lognormal":
+        values = rng.lognormal(mean=-2.0, sigma=0.8, size=20_000)
+    else:
+        values = rng.exponential(scale=0.05, size=20_000)
+    h = QuantileHistogram("lat")
+    for v in values:
+        h.observe(float(v))
+    for q in (0.50, 0.90, 0.99):
+        exact = float(np.percentile(values, 100 * q))
+        est = h.quantile(q)
+        assert est == pytest.approx(exact, rel=0.05), (dist, q)
+    assert h.mean == pytest.approx(float(values.mean()), rel=1e-9)
+    assert h.max == pytest.approx(float(values.max()))
+
+
+def test_histogram_underflow_bucket():
+    h = QuantileHistogram("lat", min_value=1e-3)
+    for _ in range(10):
+        h.observe(0.0)
+    h.observe(1.0)
+    assert h.quantile(0.5) == 0.0  # underflow values report their true min
+    assert h.quantile(1.0) == pytest.approx(1.0, rel=0.03)
+
+
+def test_registry_get_or_create_same_kind():
+    reg = MetricsRegistry()
+    a = reg.counter("x")
+    b = reg.counter("x")
+    assert a is b
+    a.inc()
+    assert reg.snapshot() == {"x": 1.0}
+
+
+def test_registry_kind_conflict_raises():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(ValueError):
+        reg.gauge("x")
+    with pytest.raises(ValueError):
+        reg.histogram("x")
+
+
+def test_registry_snapshot_prefix_and_histogram_expansion():
+    reg = MetricsRegistry()
+    reg.counter("jobs").inc(2)
+    reg.histogram("lat").observe(0.5)
+    snap = reg.snapshot(prefix="compute.")
+    assert snap["compute.jobs"] == 2.0
+    assert snap["compute.lat.count"] == 1.0
+    assert "compute.lat.p99" in snap
+
+
+def test_registry_container_protocol_and_reset():
+    reg = MetricsRegistry()
+    reg.counter("a").inc()
+    reg.gauge("b").set(7)
+    assert "a" in reg and "c" not in reg
+    assert reg.names() == ["a", "b"]
+    assert len(reg) == 2
+    assert len(list(iter(reg))) == 2
+    reg.reset()
+    assert reg.snapshot() == {"a": 0.0, "b": 0.0}

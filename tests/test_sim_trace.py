@@ -20,8 +20,8 @@ def test_category_filtering():
     t.record(1.0, "lookup", 1)
     t.record(1.0, "noise", 1)
     assert len(t.events) == 1
-    # counts still track everything (cheap observability)
-    assert t.counts == {"lookup": 1, "noise": 1}
+    # counts tally only recorded categories, matching events
+    assert t.counts == {"lookup": 1}
 
 
 def test_capacity_ring_buffer():
@@ -42,7 +42,7 @@ def test_clear_resets():
     t = Tracer()
     t.record(1.0, "a", 1)
     t.clear()
-    assert t.events == [] and t.counts == {} and t.dropped == 0
+    assert len(t.events) == 0 and t.counts == {} and t.dropped == 0
 
 
 def test_dump_tail():
@@ -61,8 +61,17 @@ def test_event_str():
 
 def test_null_tracer_records_nothing():
     NULL_TRACER.record(1.0, "x", 1)
-    assert NULL_TRACER.events == []
+    assert len(NULL_TRACER.events) == 0
     assert isinstance(NULL_TRACER, NullTracer)
+
+
+def test_counts_match_ring_buffer_total():
+    t = Tracer(capacity=2)
+    for i in range(5):
+        t.record(float(i), "c", i)
+    # counts track everything recorded, including wrapped-out events
+    assert t.counts == {"c": 5}
+    assert len(t.events) == 2 and t.dropped == 3
 
 
 def test_enabled_for():
