@@ -38,8 +38,11 @@ Public surface:
   across lookups, quorum RW, anti-entropy and job lifecycles
   (``Cluster(...).with_observability()`` or ``--trace-out`` on the bench
   CLI), a metrics registry with streaming quantile histograms, a columnar
-  on-disk trace store, and ``python -m repro.obs summary|timeline|
-  slowest|export`` to query it — see ``docs/observability.md``.
+  on-disk trace store, a cluster health engine (declarative SLO rules
+  with streaming + offline evaluation, per-node/subtree health scores,
+  causal critical-path analytics, Perfetto export), and ``python -m
+  repro.obs summary|runs|timeline|slowest|health|slo|critpath|
+  export-perfetto|export`` to query it — see ``docs/observability.md``.
 
 See README.md for the module map ("Module map") and the per-subsystem
 overviews, and ``docs/`` for the architecture, API, benchmark and performance guides;
@@ -57,7 +60,7 @@ from repro.core.treep import TreePNetwork
 from repro.obs import MetricsRegistry, ObsHub, TraceReader
 from repro.storage import AntiEntropy, QuorumConfig, ReplicatedStore
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "AntiEntropy",

@@ -69,6 +69,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="record an observability trace per scenario to "
                             "DIR/trace_<name>.npz (query with "
                             "`python -m repro.obs summary`)")
+    run_p.add_argument("--slo", default=None, metavar="FILE",
+                       help="evaluate this SLO spec (.toml/.json) against "
+                            "every scenario's recorded spans; exit 1 and "
+                            "name the violated rules when any objective "
+                            "breaks")
 
     cmp_p = sub.add_parser("compare", help="diff two results, flag regressions")
     cmp_p.add_argument("old", help="baseline: a bench_*.json file or directory")
@@ -132,10 +137,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 + "\nname the scenarios explicitly to use these overrides")
     out_dir = None if args.no_write else args.out
     failed_scenarios: List[str] = []
+    slo_violated: List[str] = []
     for name in names:
         result = run_scenario(name, seed=args.seed, smoke=args.smoke,
                               overrides=overrides or None, out_dir=out_dir,
-                              trace_out=args.trace_out)
+                              trace_out=args.trace_out, slo=args.slo)
         failed = result.failed_checks()
         status = "ok" if not failed else f"{len(failed)} CHECK(S) FAILED"
         suffix = ".smoke.json" if args.smoke else ".json"
@@ -146,6 +152,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"  trace: {result.obs['trace_file']} "
                   f"({result.obs['runs']} run(s), {result.obs['spans']} "
                   f"spans, {result.obs['events']} events)")
+        if result.slo:
+            if result.slo["passed"]:
+                print(f"  slo: {result.slo['rules']} objective(s) met "
+                      f"({result.slo['spec']})")
+            else:
+                for v in result.slo["violations"]:
+                    print(f"  SLO VIOLATION [{v['run']}] rule={v['rule']} "
+                          f"observed={v['observed']:.6g} limit={v['limit']:g}"
+                          + (f" ({v['detail']})" if v.get("detail") else ""))
+                slo_violated.append(name)
         if not args.quiet and result.rendered:
             print(result.rendered)
             print()
@@ -153,10 +169,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"  FAILED {check['name']}: {check.get('detail', '')}")
         if failed:
             failed_scenarios.append(name)
+    exit_code = 0
     if failed_scenarios:
         print(f"\nchecks failed in: {', '.join(failed_scenarios)}")
-        return 0 if args.no_checks else 1
-    return 0
+        if not args.no_checks:
+            exit_code = 1
+    if slo_violated:
+        print(f"\nSLO violations in: {', '.join(slo_violated)}")
+        exit_code = 1
+    return exit_code
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:

@@ -63,6 +63,11 @@ class BenchResult:
     #: span/event counts, per-category totals, metrics snapshot.  Optional —
     #: absent from untraced envelopes, so trajectories stay diffable.
     obs: Dict[str, Any] = field(default_factory=dict)
+    #: SLO evaluation report (``--slo`` runs only): the serialised
+    #: :class:`~repro.obs.slo.SloReport` — spec source, per-run rule
+    #: results, pass/fail verdict.  Optional — absent without ``--slo``,
+    #: so pre-1.7 envelopes stay byte-identical.
+    slo: Dict[str, Any] = field(default_factory=dict)
 
     # --------------------------------------------------------- construction
     @classmethod
@@ -103,6 +108,8 @@ class BenchResult:
         }
         if self.obs:
             out["obs"] = self.obs
+        if self.slo:
+            out["slo"] = self.slo
         return out
 
     @classmethod
@@ -110,6 +117,7 @@ class BenchResult:
         validate_result_dict(data)
         kwargs = {k: data[k] for k in REQUIRED_FIELDS}
         kwargs["obs"] = dict(data.get("obs", {}))
+        kwargs["slo"] = dict(data.get("slo", {}))
         return cls(**kwargs)
 
     def to_json(self) -> str:
@@ -166,6 +174,8 @@ def validate_result_dict(data: Mapping[str, Any]) -> None:
         raise ValueError("BenchResult.params must be an object")
     if "obs" in data and not isinstance(data["obs"], dict):
         raise ValueError("BenchResult.obs must be an object when present")
+    if "slo" in data and not isinstance(data["slo"], dict):
+        raise ValueError("BenchResult.slo must be an object when present")
 
 
 def load_results(path: str) -> Dict[str, BenchResult]:

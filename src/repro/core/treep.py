@@ -95,6 +95,7 @@ class TreePNetwork:
         self.obs = ambient_hub()
         if self.obs is not None:
             self.sim.set_event_hook(self.obs.on_sim_event)
+            self.obs.topology_source = self.topology_snapshot
         self.nodes: Dict[int, TreePNode] = {}
         self.ids: List[int] = []
         self.capacities: Dict[int, NodeCapacity] = {}
@@ -208,6 +209,21 @@ class TreePNetwork:
             node.obs = self.obs
             for hook in self.node_hooks:
                 hook(node)
+
+    def topology_snapshot(self) -> Dict[int, int]:
+        """The current tree overlay as ``{node: parent}`` (parent ``-1``
+        = root).
+
+        A node at max level *m* has its real parent at level *m*\\ +1 in
+        its routing table; nodes without one (the root, or nodes mid-join)
+        report ``-1``.  The observability hub samples this at finalize so
+        offline analytics (sick-subtree rollups) can walk the overlay.
+        """
+        snapshot: Dict[int, int] = {}
+        for ident, node in self.nodes.items():
+            parent = node.table.parents.get(node.max_level + 1)
+            snapshot[ident] = parent if parent is not None else -1
+        return snapshot
 
     def _observe_hop(self, req: LookupRequest) -> None:
         trail = self.trails.get(req.request_id)

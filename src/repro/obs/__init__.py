@@ -16,16 +16,27 @@ Typical entry points:
 * ``python -m repro.bench run <scenario> --trace-out DIR`` — ambient capture
   around a bench scenario; writes ``trace_<scenario>.npz``.
 * ``python -m repro.obs summary <file.npz>`` — query a written store.
+* ``python -m repro.obs health|slo|critpath|export-perfetto`` — the
+  analytics tier (:mod:`~repro.obs.health`, :mod:`~repro.obs.slo`,
+  :mod:`~repro.obs.critpath`, :mod:`~repro.obs.perfetto` — all core-tier).
 """
 
 from repro.obs.columnar import StreamBuffer, StringTable
+from repro.obs.critpath import (SpanTree, build_forest, critical_path,
+                                self_time_by_category, span_attribution)
+from repro.obs.health import (NodeHealth, SubtreeHealth, health_from_reader,
+                              node_health, robust_z, subtree_health)
 from repro.obs.hub import (EVENT_SCHEMA, SPAN_SCHEMA, STATUS_FAIL,
                            STATUS_NAMES, STATUS_OK, STATUS_OPEN,
                            STATUS_TIMEOUT, ObsHub)
 from repro.obs.metrics import (Counter, Gauge, MetricsRegistry,
                                QuantileHistogram)
+from repro.obs.perfetto import export_perfetto, trace_events
 from repro.obs.runtime import (TraceCapture, active_capture, ambient_hub,
                                capture)
+from repro.obs.slo import (RuleResult, SloReport, SloRule, SloSpec,
+                           StreamingSloMonitor, evaluate_hub, evaluate_store,
+                           load_slo, parse_slo)
 from repro.obs.store import SCHEMA, StreamView, TraceReader, write_store
 
 __all__ = [
@@ -51,4 +62,30 @@ __all__ = [
     "capture",
     "ambient_hub",
     "active_capture",
+    # SLO tier
+    "SloRule",
+    "SloSpec",
+    "RuleResult",
+    "SloReport",
+    "load_slo",
+    "parse_slo",
+    "evaluate_hub",
+    "evaluate_store",
+    "StreamingSloMonitor",
+    # health scoring
+    "NodeHealth",
+    "SubtreeHealth",
+    "robust_z",
+    "node_health",
+    "subtree_health",
+    "health_from_reader",
+    # causal analytics
+    "SpanTree",
+    "build_forest",
+    "critical_path",
+    "self_time_by_category",
+    "span_attribution",
+    # perfetto export
+    "trace_events",
+    "export_perfetto",
 ]

@@ -1,11 +1,23 @@
 """The trace-store query CLI: ``python -m repro.obs <cmd> FILE``.
 
-* ``summary FILE [--run R]`` — per-category span counts and duration
-  quantiles, the per-hop latency breakdown of lookup trails, event
-  counts, adopted metrics, and the simulator event-label top list.
+* ``summary FILE [--run R]`` — per-category span counts with the full
+  status mix (ok/fail/timeout/open), duration quantiles, the per-hop
+  latency breakdown of lookup trails, event counts, adopted metrics, and
+  the simulator event-label top list.
+* ``runs FILE`` — one line per run: span/event counts and meta extras
+  (the way to discover run names in a multi-run store).
 * ``timeline FILE [--run R] [--category C] [--limit N]`` — chronological
-  span/event listing.
+  span-end/event listing.
 * ``slowest FILE [--run R] [--category C] [--limit N]`` — longest spans.
+* ``health FILE [--run R] [--category C] [--limit N]`` — per-node health
+  scores (stragglers, hot replicas, error rates) and, when the store
+  carries an overlay topology, the sick-subtree rollup.
+* ``slo FILE --spec SPEC [--run R]`` — evaluate a TOML/JSON SLO spec
+  against the stored spans; exits 1 on any violation.
+* ``critpath FILE [--run R] [--category C] [--limit N]`` — per-category
+  self-time attribution and the critical path of the longest root spans.
+* ``export-perfetto FILE [-o OUT] [--run R]`` — Chrome trace-event JSON
+  for https://ui.perfetto.dev.
 * ``export FILE --stream spans|events [--run R] [--format jsonl|csv]``
   — dump raw rows for external tooling.
 
@@ -55,11 +67,16 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument("--run", default=None,
                        help="restrict to one run (default: all)")
 
-    sum_p = sub.add_parser("summary", help="per-category counts, span "
-                           "latency quantiles, per-hop breakdown")
+    sum_p = sub.add_parser("summary", help="per-category counts/status mix, "
+                           "span latency quantiles, per-hop breakdown")
     common(sum_p)
 
-    tl_p = sub.add_parser("timeline", help="chronological span/event listing")
+    runs_p = sub.add_parser("runs", help="list runs: names, row counts, "
+                            "meta extras")
+    runs_p.add_argument("file", help="trace store (.npz)")
+
+    tl_p = sub.add_parser("timeline", help="chronological span-end/event "
+                          "listing")
     common(tl_p)
     tl_p.add_argument("--category", default=None)
     tl_p.add_argument("--limit", type=int, default=50)
@@ -68,6 +85,38 @@ def _build_parser() -> argparse.ArgumentParser:
     common(slow_p)
     slow_p.add_argument("--category", default=None)
     slow_p.add_argument("--limit", type=int, default=10)
+
+    health_p = sub.add_parser("health", help="per-node health scores + "
+                              "subtree rollup")
+    common(health_p)
+    health_p.add_argument("--category", default=None,
+                          help="score one span category in isolation")
+    health_p.add_argument("--limit", type=int, default=15,
+                          help="rows per table (sickest first)")
+    health_p.add_argument("--min-spans", type=int, default=1,
+                          help="skip nodes with fewer recorded spans")
+
+    slo_p = sub.add_parser("slo", help="evaluate an SLO spec against the "
+                           "stored spans (exit 1 on violation)")
+    common(slo_p)
+    slo_p.add_argument("--spec", required=True,
+                       help="SLO spec (.toml or .json)")
+
+    crit_p = sub.add_parser("critpath", help="critical-path + self-time "
+                            "attribution from parent links")
+    common(crit_p)
+    crit_p.add_argument("--category", default=None,
+                        help="walk roots of this category (default: longest "
+                             "roots of any category)")
+    crit_p.add_argument("--limit", type=int, default=3,
+                        help="root spans to walk")
+
+    perf_p = sub.add_parser("export-perfetto", help="Chrome trace-event "
+                            "JSON for ui.perfetto.dev")
+    common(perf_p)
+    perf_p.add_argument("--category", default=None)
+    perf_p.add_argument("-o", "--output", default=None,
+                        help="output path (default: <store>.perfetto.json)")
 
     exp_p = sub.add_parser("export", help="dump raw rows (jsonl/csv)")
     common(exp_p)
@@ -94,10 +143,11 @@ def _cmd_summary(reader: TraceReader, args: argparse.Namespace) -> int:
         stats = span_stats(spans)
         if stats:
             print(_table(
-                ["category", "count", "ok", "open", "mean", "p50", "p99", "max"],
-                [[s["category"], s["count"], s["ok"], s["open"],
-                  f"{s['mean']:.4f}", f"{s['p50']:.4f}", f"{s['p99']:.4f}",
-                  f"{s['max']:.4f}"] for s in stats],
+                ["category", "count", "ok", "fail", "timeout", "open",
+                 "mean", "p50", "p99", "max"],
+                [[s["category"], s["count"], s["ok"], s["fail"], s["timeout"],
+                  s["open"], f"{s['mean']:.4f}", f"{s['p50']:.4f}",
+                  f"{s['p99']:.4f}", f"{s['max']:.4f}"] for s in stats],
                 title="spans (durations in virtual seconds)"))
         event_counts = events.categories()
         if event_counts:
@@ -127,6 +177,33 @@ def _cmd_summary(reader: TraceReader, args: argparse.Namespace) -> int:
             print(_table(["sim event label", "fired"], top,
                          title=f"simulator events ({total} total, top 12)"))
         print()
+    return 0
+
+
+def _cmd_runs(reader: TraceReader, args: argparse.Namespace) -> int:
+    rows = []
+    for run in reader.runs:
+        meta = reader.run_meta(run)
+        streams = meta.get("streams", {})
+        extras = meta.get("extras", {})
+        notes = []
+        for key in sorted(extras):
+            value = extras[key]
+            if key == "topology":
+                notes.append(f"topology({len(value)} nodes)")
+            elif isinstance(value, list):
+                notes.append(f"{key}({len(value)})")
+            else:
+                notes.append(f"{key}={value}")
+        rows.append([run, streams.get("spans", 0), streams.get("events", 0),
+                     sum(meta.get("sim_events", {}).values()),
+                     " ".join(notes) or "-"])
+    print(_table(["run", "spans", "events", "sim events", "extras"], rows,
+                 title=f"{reader.path}: {len(reader.runs)} run(s)"))
+    extra = reader.meta.get("extra", {})
+    if extra:
+        print("store extra: "
+              + " ".join(f"{k}={extra[k]}" for k in sorted(extra)))
     return 0
 
 
@@ -162,6 +239,114 @@ def _cmd_slowest(reader: TraceReader, args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_health(reader: TraceReader, args: argparse.Namespace) -> int:
+    from repro.obs.health import health_from_reader
+
+    for run in _runs(reader, args.run):
+        nodes, subtrees = health_from_reader(
+            reader, run, category=args.category, min_spans=args.min_spans)
+        sick = sum(1 for h in nodes if h.sick)
+        print(f"== run {run}: {len(nodes)} node(s) scored, {sick} sick ==")
+        if nodes:
+            print(_table(
+                ["node", "score", "spans", "ok", "fail", "timeout",
+                 "err rate", "mean lat", "lat z", "load z", "flags"],
+                [[h.node, f"{h.score:.1f}", h.spans, h.ok, h.fail, h.timeout,
+                  f"{h.error_rate:.3f}", f"{h.mean_latency:.4f}",
+                  f"{h.latency_z:+.2f}", f"{h.load_z:+.2f}",
+                  ",".join(h.flags) or "-"]
+                 for h in nodes[:args.limit]],
+                title=f"node health (sickest first, top {args.limit})"))
+        if subtrees:
+            print(_table(
+                ["subtree root", "score", "members", "spans", "worst node",
+                 "worst score"],
+                [[s.root, f"{s.score:.1f}", s.members, s.spans, s.worst_node,
+                  f"{s.worst_score:.1f}"] for s in subtrees[:args.limit]],
+                title="subtree rollup (span-weighted, sickest first)"))
+        elif nodes:
+            print("(no overlay topology in this store — subtree rollup "
+                  "skipped; re-record with repro.obs >= 1.7)")
+        print()
+    return 0
+
+
+def _cmd_slo(reader: TraceReader, args: argparse.Namespace) -> int:
+    from repro.obs.slo import evaluate_store, load_slo
+
+    spec = load_slo(args.spec)
+    report = evaluate_store(spec, reader, run=args.run)
+    for run in sorted(report.runs):
+        results = report.runs[run]
+        print(_table(
+            ["rule", "observed", "limit", "samples", "status", "detail"],
+            [[r.name, f"{r.observed:.6g}", f"{r.rule.limit:g}", r.samples,
+              "ok" if r.ok else "VIOLATED", r.detail or "-"]
+             for r in results],
+            title=f"run {run}: {len(spec)} objective(s) from {spec.source}"))
+        recorded = reader.run_extras(run).get("slo_violations", [])
+        if recorded:
+            print(f"  {len(recorded)} live violation event(s) recorded "
+                  "during the run (category slo.violation)")
+        print()
+    violations = report.violations()
+    if violations:
+        for run, res in violations:
+            print(f"SLO VIOLATION [{run}] {res.name}: observed "
+                  f"{res.observed:.6g} > limit {res.rule.limit:g}"
+                  + (f" ({res.detail})" if res.detail else ""))
+        return 1
+    print("all objectives met")
+    return 0
+
+
+def _cmd_critpath(reader: TraceReader, args: argparse.Namespace) -> int:
+    from repro.obs.critpath import (build_forest, critical_path,
+                                    self_time_by_category, span_attribution)
+
+    for run in _runs(reader, args.run):
+        tree = build_forest(reader.stream(run, "spans"))
+        print(f"== run {run}: {len(tree.by_id)} spans, {len(tree.roots)} "
+              f"roots, {tree.orphans} orphan(s) ==")
+        attribution = self_time_by_category(tree)
+        if attribution:
+            print(_table(
+                ["category", "count", "total time", "self time", "self %"],
+                [[a["category"], a["count"], f"{a['total_time']:.4f}",
+                  f"{a['self_time']:.4f}", f"{a['self_pct']:.1f}"]
+                 for a in attribution],
+                title="per-category self-time attribution"))
+        roots = span_attribution(tree, category=args.category)
+        for row in roots[:args.limit]:
+            root = tree.by_id[row["span_id"]]
+            print(f"\ncritical path of {row['category']} span "
+                  f"{row['span_id']} (node {row['node']}, "
+                  f"dur {row['duration']:.4f}, {row['children']} child(ren), "
+                  f"self {row['self_time']:.4f}, "
+                  f"coverage {100 * row['coverage']:.1f}%):")
+            for seg in critical_path(root):
+                print(f"  [{seg['t0']:10.4f} → {seg['t1']:10.4f}] "
+                      f"{seg['duration']:8.4f}  {seg['category']:<18} "
+                      f"node={seg['node']} ({seg['status']})")
+        print()
+    return 0
+
+
+def _cmd_export_perfetto(reader: TraceReader, args: argparse.Namespace) -> int:
+    from repro.obs.perfetto import export_perfetto
+
+    out = args.output
+    if out is None:
+        base = args.file[:-4] if args.file.endswith(".npz") else args.file
+        out = base + ".perfetto.json"
+    path = export_perfetto(reader, out, run=args.run, category=args.category)
+    with open(path, encoding="utf-8") as fh:
+        n = len(json.load(fh)["traceEvents"])
+    print(f"wrote {n} trace events -> {path}")
+    print("open in https://ui.perfetto.dev (Trace -> Open trace file)")
+    return 0
+
+
 def _cmd_export(reader: TraceReader, args: argparse.Namespace) -> int:
     out = open(args.output, "w", newline="") if args.output else sys.stdout
     try:
@@ -182,25 +367,33 @@ def _cmd_export(reader: TraceReader, args: argparse.Namespace) -> int:
     return 0
 
 
+_COMMANDS = {
+    "summary": _cmd_summary,
+    "runs": _cmd_runs,
+    "timeline": _cmd_timeline,
+    "slowest": _cmd_slowest,
+    "health": _cmd_health,
+    "slo": _cmd_slo,
+    "critpath": _cmd_critpath,
+    "export-perfetto": _cmd_export_perfetto,
+    "export": _cmd_export,
+}
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    handler = _COMMANDS.get(args.command)
+    if handler is None:  # pragma: no cover
+        raise SystemExit(f"unknown command {args.command!r}")
     try:
         with TraceReader(args.file) as reader:
-            if args.command == "summary":
-                return _cmd_summary(reader, args)
-            if args.command == "timeline":
-                return _cmd_timeline(reader, args)
-            if args.command == "slowest":
-                return _cmd_slowest(reader, args)
-            if args.command == "export":
-                return _cmd_export(reader, args)
+            return handler(reader, args)
     except BrokenPipeError:
         # Downstream consumer (e.g. `| head`) closed stdout mid-render;
         # detach it so the interpreter's shutdown flush stays quiet.
         devnull = os.open(os.devnull, os.O_WRONLY)
         os.dup2(devnull, sys.stdout.fileno())
         return 0
-    raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
 
 
 if __name__ == "__main__":  # pragma: no cover

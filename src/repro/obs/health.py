@@ -1,0 +1,277 @@
+"""Per-node health scoring over recorded spans + tree-overlay rollup.
+
+The paper's tree-structured grid overlay lives or dies on detecting sick
+*subtrees*: one slow or flapping parent degrades every lookup, quorum
+write and job placement routed through its cell.  This module turns the
+trace store's span columns into the answers an operator asks:
+
+* :func:`node_health` — per-node aggregates (span load, failure/timeout
+  mix, mean span latency) scored 0–100.  Stragglers are flagged by a
+  **robust z-score** of per-node mean latency (median/MAD, so one sick
+  node cannot drag the baseline toward itself the way mean/std would),
+  hot replicas by the same statistic over per-node span load.
+* :func:`subtree_health` — rolls node scores up the recorded tree
+  overlay (the ``topology`` mapping stores stamp into run meta extras:
+  ``child -> parent``), span-weighted, so a subtree whose members are
+  individually borderline but collectively sick surfaces at its root.
+
+Everything is vectorised NumPy over :class:`~repro.obs.store.StreamView`
+columns; pre-filter the view (``spans.filter(category="lookup")``) to
+score one protocol in isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.obs.hub import STATUS_FAIL, STATUS_OPEN, STATUS_TIMEOUT
+from repro.obs.store import StreamView
+
+__all__ = ["NodeHealth", "SubtreeHealth", "node_health", "subtree_health",
+           "health_from_reader", "robust_z"]
+
+#: Default robust-z threshold above which a node is flagged (3.5 is the
+#: conventional cut for median/MAD outlier detection).
+Z_FLAG = 3.5
+
+#: Scores below this mark a node/subtree "sick" in reports.
+SICK_SCORE = 75.0
+
+
+def robust_z(values: np.ndarray) -> np.ndarray:
+    """Median/MAD z-scores (0.6745 · (x − med) / MAD).
+
+    Falls back to classic (x − mean)/std when the MAD degenerates to 0
+    (over half the values identical), and to all-zeros when the spread
+    itself is 0 — a uniform population has no outliers.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if len(values) == 0:
+        return values
+    med = np.median(values)
+    mad = np.median(np.abs(values - med))
+    if mad > 0.0:
+        return 0.6745 * (values - med) / mad
+    std = values.std()
+    if std > 0.0:
+        return (values - values.mean()) / std
+    return np.zeros_like(values)
+
+
+@dataclass
+class NodeHealth:
+    """One node's aggregated span record and its 0–100 score."""
+
+    node: int
+    spans: int
+    ok: int
+    fail: int
+    timeout: int
+    error_rate: float
+    mean_latency: float
+    busy_time: float       # summed closed-span duration (virtual seconds)
+    latency_z: float
+    load_z: float
+    score: float
+    flags: Tuple[str, ...]
+
+    @property
+    def sick(self) -> bool:
+        return self.score < SICK_SCORE
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "node": self.node, "spans": self.spans, "ok": self.ok,
+            "fail": self.fail, "timeout": self.timeout,
+            "error_rate": round(self.error_rate, 6),
+            "mean_latency": round(self.mean_latency, 6),
+            "busy_time": round(self.busy_time, 6),
+            "latency_z": round(self.latency_z, 3),
+            "load_z": round(self.load_z, 3),
+            "score": round(self.score, 2),
+            "flags": list(self.flags),
+        }
+
+
+@dataclass
+class SubtreeHealth:
+    """Span-weighted health of one overlay subtree, keyed by its root."""
+
+    root: int
+    members: int          # nodes in the subtree (root included)
+    spans: int            # spans recorded across the subtree
+    score: float          # span-weighted mean of member scores
+    worst_node: int
+    worst_score: float
+
+    @property
+    def sick(self) -> bool:
+        return self.score < SICK_SCORE
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "root": self.root, "members": self.members, "spans": self.spans,
+            "score": round(self.score, 2), "worst_node": self.worst_node,
+            "worst_score": round(self.worst_score, 2),
+        }
+
+
+def node_health(spans: StreamView, *, straggler_z: float = Z_FLAG,
+                hot_z: float = Z_FLAG, min_spans: int = 1) -> List[NodeHealth]:
+    """Score every node with at least *min_spans* recorded spans.
+
+    Scoring starts at 100 and subtracts independent penalties:
+
+    * up to 60 for the error (fail + timeout) rate — 50% errors exhausts
+      the full penalty;
+    * up to 25 for straggling — mean span latency whose robust z exceeds
+      *straggler_z*;
+    * up to 15 for running hot — span load whose robust z exceeds *hot_z*.
+
+    Returned sickest-first (ascending score, node id tiebreak).
+    """
+    if len(spans) == 0:
+        return []
+    node = spans.column("node")
+    status = spans.column("status")
+    durations = spans.column("t1") - spans.column("t0")
+    closed = status != STATUS_OPEN
+
+    nodes, inverse = np.unique(node, return_inverse=True)
+    counts = np.bincount(inverse)
+    fails = np.bincount(inverse, weights=(status == STATUS_FAIL)).astype(np.int64)
+    timeouts = np.bincount(inverse, weights=(status == STATUS_TIMEOUT)).astype(np.int64)
+    closed_counts = np.bincount(inverse, weights=closed)
+    busy = np.bincount(inverse, weights=np.where(closed, durations, 0.0))
+    mean_lat = np.divide(busy, closed_counts,
+                         out=np.zeros_like(busy), where=closed_counts > 0)
+
+    lat_z = robust_z(mean_lat)
+    load_z = robust_z(counts.astype(np.float64))
+
+    out: List[NodeHealth] = []
+    for i, ident in enumerate(nodes):
+        n = int(counts[i])
+        if n < min_spans:
+            continue
+        err = int(fails[i] + timeouts[i])
+        err_rate = err / n
+        flags: List[str] = []
+        score = 100.0
+        if err:
+            score -= min(60.0, 120.0 * err_rate)
+            flags.append("errors")
+        lz = float(lat_z[i])
+        if lz > straggler_z and closed_counts[i] > 0:
+            score -= min(25.0, 5.0 + (lz - straggler_z) * 5.0)
+            flags.append("straggler")
+        gz = float(load_z[i])
+        if gz > hot_z:
+            score -= min(15.0, 3.0 + (gz - hot_z) * 3.0)
+            flags.append("hot")
+        out.append(NodeHealth(
+            node=int(ident), spans=n,
+            ok=n - err - int(counts[i] - closed_counts[i]),
+            fail=int(fails[i]), timeout=int(timeouts[i]),
+            error_rate=err_rate, mean_latency=float(mean_lat[i]),
+            busy_time=float(busy[i]), latency_z=lz, load_z=gz,
+            score=max(0.0, score), flags=tuple(flags)))
+    out.sort(key=lambda h: (h.score, h.node))
+    return out
+
+
+def subtree_health(nodes: List[NodeHealth],
+                   topology: Mapping[int, int]) -> List[SubtreeHealth]:
+    """Roll per-node scores up the overlay tree, span-weighted.
+
+    *topology* maps ``child -> parent`` (parent ``-1`` or absent = root),
+    the shape :meth:`TreePNetwork.topology_snapshot` records into run
+    meta extras.  Nodes present in the topology but without spans join
+    with neutral weight 0; scored nodes missing from the topology stand
+    as single-node roots.  Only internal nodes (≥ 1 child) are reported
+    — a leaf's "subtree" is just its own :class:`NodeHealth` row.
+
+    Returned sickest-first.
+    """
+    health = {h.node: h for h in nodes}
+    members = set(topology) | set(health)
+    children: Dict[int, List[int]] = {}
+    for child in sorted(members):
+        parent = topology.get(child, -1)
+        if parent is None or parent < 0 or parent == child or parent not in members:
+            continue
+        children.setdefault(parent, []).append(child)
+
+    roots = [n for n in sorted(members)
+             if not (0 <= topology.get(n, -1) != n
+                     and topology.get(n, -1) in members)]
+    # Pre-order walk with a cycle guard, then accumulate in reverse.
+    order: List[int] = []
+    seen: set = set()
+    stack = list(reversed(roots))
+    while stack:
+        n = stack.pop()
+        if n in seen:
+            continue
+        seen.add(n)
+        order.append(n)
+        stack.extend(reversed(children.get(n, [])))
+    for n in sorted(members - seen):  # cycle remnants: stand alone
+        order.append(n)
+        seen.add(n)
+        children.pop(n, None)
+
+    # node -> [weighted score sum, span weight, member count, worst node, worst score]
+    agg: Dict[int, List[float]] = {}
+    for n in order:
+        h = health.get(n)
+        if h is not None:
+            agg[n] = [h.score * h.spans, float(h.spans), 1.0, n, h.score]
+        else:
+            agg[n] = [0.0, 0.0, 1.0, n, 100.0]
+    for n in reversed(order):
+        parent = topology.get(n, -1)
+        if parent is None or parent < 0 or parent == n or parent not in agg:
+            continue
+        if n not in children.get(parent, ()):  # cycle remnant, not merged
+            continue
+        a, p = agg[n], agg[parent]
+        p[0] += a[0]
+        p[1] += a[1]
+        p[2] += a[2]
+        if a[4] < p[4]:
+            p[3], p[4] = a[3], a[4]
+
+    out = []
+    for n in order:
+        kids = children.get(n)
+        if not kids:
+            continue
+        total, weight, size, worst, worst_score = agg[n]
+        score = total / weight if weight > 0 else 100.0
+        out.append(SubtreeHealth(
+            root=n, members=int(size), spans=int(weight), score=score,
+            worst_node=int(worst), worst_score=worst_score))
+    out.sort(key=lambda s: (s.score, s.root))
+    return out
+
+
+def health_from_reader(reader, run: str, *,
+                       category: Optional[str] = None,
+                       min_spans: int = 1) -> Tuple[List[NodeHealth],
+                                                    List[SubtreeHealth]]:
+    """One-call report for one stored run: (node rows, subtree rows).
+
+    Subtree rows are empty when the store carries no topology (pre-1.7
+    stores, or hubs never bound to a network).
+    """
+    spans = reader.stream(run, "spans")
+    if category is not None:
+        spans = spans.filter(category=category)
+    nodes = node_health(spans, min_spans=min_spans)
+    topology = reader.run_topology(run)
+    subtrees = subtree_health(nodes, topology) if topology else []
+    return nodes, subtrees

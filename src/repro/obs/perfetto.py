@@ -1,0 +1,172 @@
+"""Chrome trace-event JSON export — open any recorded run in Perfetto.
+
+:func:`export_perfetto` converts a trace store into the Trace Event
+Format (the ``{"traceEvents": [...]}`` JSON object) that
+https://ui.perfetto.dev and ``chrome://tracing`` load directly:
+
+* each store **run** becomes a process (``pid``), named by the run;
+* each **node** becomes a thread (``tid``) named ``node <id>``.  Spans
+  on one node can overlap without nesting (two concurrent lookups), and
+  the B/E duration events the format uses require strict nesting per
+  thread — overlapping spans therefore overflow into extra *lanes*
+  (``node <id> · lane <k>``), assigned greedily so every lane's spans
+  form a laminar family;
+* spans emit matched ``B``/``E`` pairs (begin args carry the span id,
+  status and ``v0``/``v1`` payloads), instantaneous trace events emit
+  thread-scoped ``i`` instants.
+
+Timestamps are virtual-time seconds scaled to microseconds (the
+format's unit), globally sorted, so the exported stream is monotonic.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.hub import STATUS_NAMES
+from repro.obs.store import TraceReader
+
+__all__ = ["trace_events", "export_perfetto"]
+
+_US = 1e6  # virtual seconds -> trace-event microseconds
+
+
+def _span_events(spans, pid: int, tids: Dict[Tuple[int, int], int],
+                 names: Dict[int, str], next_tid: List[int],
+                 ) -> List[Tuple[float, int, int, Dict[str, Any]]]:
+    """B/E pairs for one run's spans, lane-assigned so every tid nests.
+
+    Returns sortable tuples ``(ts_us, tid, seq, event)`` — ``seq`` is a
+    per-tid sequence number that preserves the stack-correct emission
+    order between events sharing a timestamp.
+    """
+    rows = sorted(
+        zip(spans.column("id").tolist(), spans.column("cat").tolist(),
+            spans.column("node").tolist(), spans.column("t0").tolist(),
+            spans.column("t1").tolist(), spans.column("status").tolist(),
+            spans.column("v0").tolist(), spans.column("v1").tolist()),
+        key=lambda r: (r[3], -r[4]))
+    strings = spans.strings
+
+    # Greedy lane assignment: a span joins the first lane of its node
+    # whose open-span stack it nests into (or which is idle by its t0).
+    lanes: Dict[int, List[List[float]]] = {}
+    by_lane: Dict[Tuple[int, int], List[Tuple]] = {}
+    for row in rows:
+        node, t0, t1 = int(row[2]), float(row[3]), float(row[4])
+        stacks = lanes.setdefault(node, [])
+        lane = None
+        for k, stack in enumerate(stacks):
+            while stack and stack[-1] <= t0:
+                stack.pop()
+            if not stack or t1 <= stack[-1]:
+                lane = k
+                break
+        if lane is None:
+            stacks.append([])
+            lane = len(stacks) - 1
+        stacks[lane].append(t1)
+        key = (node, lane)
+        if key not in tids:
+            tids[key] = next_tid[0]
+            names[next_tid[0]] = (f"node {node}" if lane == 0
+                                  else f"node {node} · lane {lane}")
+            next_tid[0] += 1
+        by_lane.setdefault(key, []).append(row)
+
+    out: List[Tuple[float, int, int, Dict[str, Any]]] = []
+    for key, lane_rows in by_lane.items():
+        tid = tids[key]
+        seq = 0
+        open_stack: List[Tuple[float, float]] = []  # (t1, ts_us)
+        for sid, cat, node, t0, t1, status, v0, v1 in lane_rows:
+            while open_stack and open_stack[-1][0] <= t0:
+                end, ts = open_stack.pop()
+                out.append((ts, tid, seq, {"ph": "E", "pid": pid, "tid": tid,
+                                           "ts": ts}))
+                seq += 1
+            name = strings[int(cat)]
+            out.append((t0 * _US, tid, seq, {
+                "ph": "B", "name": name, "cat": name, "pid": pid, "tid": tid,
+                "ts": t0 * _US,
+                "args": {"id": int(sid),
+                         "status": STATUS_NAMES.get(int(status), "?"),
+                         "v0": float(v0), "v1": float(v1)},
+            }))
+            seq += 1
+            open_stack.append((float(t1), t1 * _US))
+        while open_stack:
+            end, ts = open_stack.pop()
+            out.append((ts, tid, seq, {"ph": "E", "pid": pid, "tid": tid,
+                                       "ts": ts}))
+            seq += 1
+    return out
+
+
+def trace_events(reader: TraceReader, run: Optional[str] = None,
+                 category: Optional[str] = None) -> List[Dict[str, Any]]:
+    """The full trace-event list for *reader* (one run or all).
+
+    Metadata (process/thread names) leads; payload events follow sorted
+    by ``(ts, tid, seq)`` — globally monotonic timestamps with per-lane
+    emission order preserved for same-timestamp B/E correctness.
+    """
+    runs = [run] if run is not None else reader.runs
+    if run is not None:
+        reader.run_meta(run)  # raises with the known-run list
+    meta_events: List[Dict[str, Any]] = []
+    payload: List[Tuple[float, int, int, Dict[str, Any]]] = []
+    next_tid = [1]
+    for pid, run_name in enumerate(runs, start=1):
+        meta_events.append({"ph": "M", "name": "process_name", "pid": pid,
+                            "ts": 0, "args": {"name": run_name}})
+        spans = reader.stream(run_name, "spans")
+        events = reader.stream(run_name, "events")
+        if category is not None:
+            spans = spans.filter(category=category)
+            events = events.filter(category=category)
+        tids: Dict[Tuple[int, int], int] = {}
+        names: Dict[int, str] = {}
+        payload.extend(_span_events(spans, pid, tids, names, next_tid))
+        # Instants ride their node's lane 0 (creating it if span-less).
+        strings = events.strings
+        for cat, node, t, rid, value in zip(
+                events.column("cat").tolist(), events.column("node").tolist(),
+                events.column("t").tolist(), events.column("rid").tolist(),
+                events.column("value").tolist()):
+            key = (int(node), 0)
+            tid = tids.get(key)
+            if tid is None:
+                tid = tids[key] = next_tid[0]
+                names[tid] = f"node {int(node)}"
+                next_tid[0] += 1
+            name = strings[int(cat)]
+            payload.append((t * _US, tid, 1 << 30, {
+                "ph": "i", "name": name, "cat": name, "pid": pid, "tid": tid,
+                "ts": t * _US, "s": "t",
+                "args": {"rid": int(rid), "value": float(value)},
+            }))
+        for tid in sorted(names):
+            meta_events.append({"ph": "M", "name": "thread_name", "pid": pid,
+                                "tid": tid, "ts": 0,
+                                "args": {"name": names[tid]}})
+    payload.sort(key=lambda item: (item[0], item[1], item[2]))
+    return meta_events + [event for _, _, _, event in payload]
+
+
+def export_perfetto(reader: TraceReader, path: str,
+                    run: Optional[str] = None,
+                    category: Optional[str] = None) -> str:
+    """Write the Chrome trace-event JSON for *reader* to *path*."""
+    events = trace_events(reader, run=run, category=category)
+    doc = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"source": reader.path, "schema": "repro.obs/1",
+                      "timeUnit": "virtual-seconds-as-us"},
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, separators=(",", ":"))
+        fh.write("\n")
+    return path

@@ -12,7 +12,8 @@ from typing import Any, Dict, List
 
 import numpy as np
 
-from repro.obs.hub import STATUS_NAMES, STATUS_OPEN
+from repro.obs.hub import (STATUS_FAIL, STATUS_NAMES, STATUS_OK, STATUS_OPEN,
+                           STATUS_TIMEOUT)
 from repro.obs.store import StreamView
 
 __all__ = ["span_stats", "per_hop_latency", "slowest_spans", "timeline_rows"]
@@ -33,11 +34,12 @@ def span_stats(spans: StreamView) -> List[Dict[str, Any]]:
         mask = cat == code
         closed = mask & (status != STATUS_OPEN)
         durations = (t1 - t0)[closed]
-        ok = int(np.count_nonzero(mask & (status == 1)))
         row: Dict[str, Any] = {
             "category": spans._strings[int(code)],
             "count": int(np.count_nonzero(mask)),
-            "ok": ok,
+            "ok": int(np.count_nonzero(mask & (status == STATUS_OK))),
+            "fail": int(np.count_nonzero(mask & (status == STATUS_FAIL))),
+            "timeout": int(np.count_nonzero(mask & (status == STATUS_TIMEOUT))),
             "open": int(np.count_nonzero(mask & (status == STATUS_OPEN))),
         }
         if len(durations):
@@ -112,13 +114,21 @@ def slowest_spans(spans: StreamView, limit: int = 10) -> List[Dict[str, Any]]:
 
 def timeline_rows(spans: StreamView, events: StreamView,
                   limit: int = 50) -> List[Dict[str, Any]]:
-    """A chronological merge of span-ends and events (first *limit*)."""
+    """A chronological merge of span-ends and events (first *limit*).
+
+    Closed spans appear at their **end** time (``t1`` is when the outcome
+    became known; ``t0`` stays in the detail); never-ended spans flushed
+    with ``STATUS_OPEN`` appear at their begin, the only time they have.
+    """
     merged: List[Dict[str, Any]] = []
     for row in spans:
+        is_open = row["status"] == STATUS_OPEN
         merged.append({
-            "time": row["t0"], "kind": "span", "category": row["category"],
+            "time": row["t0"] if is_open else row["t1"],
+            "kind": "span", "category": row["category"],
             "node": row["node"],
-            "detail": (f"id={row['id']} dur={row['t1'] - row['t0']:.4f} "
+            "detail": (f"id={row['id']} t0={row['t0']:.4f} "
+                       f"dur={row['t1'] - row['t0']:.4f} "
                        f"{STATUS_NAMES.get(row['status'], '?')} "
                        f"v0={row['v0']:g}"),
         })

@@ -1,0 +1,175 @@
+"""Health scoring: robust z-scores, straggler/error/hot detection on
+synthetic span populations, the overlay subtree rollup, and the
+end-to-end reader + CLI path."""
+
+import numpy as np
+
+from repro.bench.runner import run_scenario
+from repro.cluster import Cluster
+from repro.obs import (STATUS_FAIL, STATUS_TIMEOUT, ObsHub, TraceReader,
+                       node_health, robust_z, subtree_health, write_store)
+from repro.obs.health import SICK_SCORE, health_from_reader
+from repro.obs.store import StreamView
+
+
+def _view(hub, run="run-000"):
+    hub.finalize()
+    return StreamView(hub.export_streams()["spans"], hub.strings.strings,
+                      run, "spans")
+
+
+# ----------------------------------------------------------------- robust z
+def test_robust_z_flags_the_outlier_not_the_population():
+    values = np.array([1.0, 1.1, 0.9, 1.0, 1.05, 10.0])
+    z = robust_z(values)
+    assert z[-1] > 3.5               # the outlier stands out
+    assert np.abs(z[:-1]).max() < 3.5  # the healthy population does not
+
+
+def test_robust_z_degenerate_populations():
+    assert robust_z(np.array([])).size == 0
+    assert (robust_z(np.array([2.0, 2.0, 2.0])) == 0.0).all()
+    # MAD = 0 (majority identical) falls back to mean/std, still flagging
+    z = robust_z(np.array([1.0] * 9 + [100.0]))
+    assert z[-1] == z.max() > 0
+
+
+# ------------------------------------------------------------- node scoring
+def test_straggler_is_flagged_and_scored_down():
+    hub = ObsHub()
+    for node in range(8):
+        for i in range(10):
+            # healthy nodes jitter around 0.1; node 3 drags at 5.0
+            lat = 5.0 if node == 3 else 0.1 + 0.01 * node
+            hub.span("lookup", node, float(i), float(i) + lat)
+    rows = node_health(_view(hub))
+    sickest = rows[0]
+    assert sickest.node == 3
+    assert "straggler" in sickest.flags
+    assert sickest.score < 100.0
+    assert all("straggler" not in h.flags for h in rows[1:])
+
+
+def test_error_rate_dominates_the_score():
+    hub = ObsHub()
+    for i in range(10):
+        hub.span("lookup", 1, float(i), float(i) + 0.1)
+        hub.span("lookup", 2, float(i), float(i) + 0.1,
+                 status=STATUS_FAIL if i < 6 else STATUS_TIMEOUT)
+    rows = {h.node: h for h in node_health(_view(hub))}
+    bad = rows[2]
+    assert bad.fail == 6 and bad.timeout == 4 and bad.error_rate == 1.0
+    assert bad.sick and bad.score <= 100.0 - 60.0 + 1e-9
+    assert "errors" in bad.flags
+    assert rows[1].score == 100.0 and not rows[1].sick
+
+
+def test_hot_replica_flagged_by_load_skew():
+    hub = ObsHub()
+    for node in range(10):
+        # balanced replicas jitter around 10-19 spans; node 0 takes 200
+        n = 200 if node == 0 else 10 + node
+        for i in range(n):
+            hub.span("storage.put", node, float(i), float(i) + 0.1)
+    rows = node_health(_view(hub))
+    hot = next(h for h in rows if h.node == 0)
+    assert "hot" in hot.flags and hot.load_z > 3.5
+
+
+def test_min_spans_filters_noise_nodes():
+    hub = ObsHub()
+    hub.span("lookup", 99, 0.0, 50.0)  # one huge span, no evidence
+    for i in range(20):
+        hub.span("lookup", 1, float(i), float(i) + 0.1)
+    rows = node_health(_view(hub), min_spans=5)
+    assert [h.node for h in rows] == [1]
+
+
+# ------------------------------------------------------------ subtree rollup
+def test_subtree_rollup_surfaces_the_sick_branch():
+    #        1
+    #      /   \
+    #     2     3
+    #    / \   / \
+    #   4   5 6   7     (6 and 7 are failing)
+    topology = {2: 1, 3: 1, 4: 2, 5: 2, 6: 3, 7: 3, 1: -1}
+    hub = ObsHub()
+    for node in (1, 2, 3, 4, 5, 6, 7):
+        for i in range(10):
+            bad = node in (6, 7)
+            hub.span("lookup", node, float(i), float(i) + 0.1,
+                     status=STATUS_FAIL if bad else 1)
+    nodes = node_health(_view(hub))
+    subtrees = {s.root: s for s in subtree_health(nodes, topology)}
+    assert set(subtrees) == {1, 2, 3}  # leaves are not reported
+    assert subtrees[3].sick and subtrees[3].score < SICK_SCORE
+    assert not subtrees[2].sick
+    assert subtrees[3].worst_node in (6, 7)
+    assert subtrees[1].members == 7
+    assert subtrees[1].spans == 70
+    # the whole tree is dragged down by its sick branch, but less than it
+    assert subtrees[3].score < subtrees[1].score < subtrees[2].score
+
+
+def test_subtree_rollup_tolerates_cycles_and_unknown_parents():
+    topology = {1: 2, 2: 1, 3: 999}  # 1<->2 cycle; 3's parent unrecorded
+    hub = ObsHub()
+    for node in (1, 2, 3):
+        hub.span("lookup", node, 0.0, 0.1)
+    rollup = subtree_health(node_health(_view(hub)), topology)
+    assert isinstance(rollup, list)  # no hang, no crash
+
+
+# ------------------------------------------------------------- reader + CLI
+def test_health_from_reader_with_recorded_topology(tmp_path):
+    c = Cluster(seed=11).build(32).with_observability().with_storage()
+    for i in range(15):
+        c.storage.put(f"k{i}", i)
+    path = str(tmp_path / "h.npz")
+    c.observability.write(path)
+    with TraceReader(path) as reader:
+        assert reader.run_topology("run-000"), "service must record topology"
+        nodes, subtrees = health_from_reader(reader, "run-000")
+    assert nodes and all(0.0 <= h.score <= 100.0 for h in nodes)
+    assert subtrees, "a recorded topology must produce a subtree rollup"
+    total_spans = sum(h.spans for h in nodes)
+    assert max(s.spans for s in subtrees) <= total_spans
+
+
+def test_health_from_reader_without_topology(tmp_path):
+    hub = ObsHub()
+    hub.span("lookup", 1, 0.0, 0.1)
+    path = str(tmp_path / "no_topo.npz")
+    write_store(path, {"run-000": hub})
+    with TraceReader(path) as reader:
+        assert reader.run_topology("run-000") is None
+        nodes, subtrees = health_from_reader(reader, "run-000")
+    assert len(nodes) == 1 and subtrees == []
+
+
+def test_ambient_capture_records_topology(tmp_path):
+    result = run_scenario("storage", smoke=True, trace_out=str(tmp_path))
+    with TraceReader(result.obs["trace_file"]) as reader:
+        for run in reader.runs:
+            topology = reader.run_topology(run)
+            assert topology and len(topology) > 1
+            roots = [n for n, p in topology.items() if p < 0]
+            assert roots, "the overlay has at least one root"
+            # every recorded parent is itself a member of the snapshot
+            for parent in topology.values():
+                assert parent == -1 or parent in topology
+
+
+def test_obs_cli_health_subcommand(tmp_path, capsys):
+    from repro.obs.cli import main as obs_cli
+
+    c = Cluster(seed=12).build(24).with_observability().with_storage()
+    for i in range(10):
+        c.storage.put(f"k{i}", i)
+    path = str(tmp_path / "cli.npz")
+    c.observability.write(path)
+    assert obs_cli(["health", path]) == 0
+    out = capsys.readouterr().out
+    assert "node health" in out and "subtree rollup" in out
+    assert obs_cli(["health", path, "--category", "storage.put",
+                    "--limit", "3"]) == 0

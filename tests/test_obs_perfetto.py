@@ -1,0 +1,140 @@
+"""Perfetto export: valid Chrome trace-event JSON, matched and strictly
+nested B/E pairs per (pid, tid), monotonic timestamps, instant events,
+and lane overflow for overlapping same-node spans."""
+
+import json
+
+from repro.bench.runner import run_scenario
+from repro.cluster import Cluster
+from repro.obs import ObsHub, TraceReader, export_perfetto, trace_events, write_store
+
+
+def _export(hub, tmp_path, name="t"):
+    store = str(tmp_path / f"{name}.npz")
+    write_store(store, {"run-000": hub})
+    out = str(tmp_path / f"{name}.json")
+    with TraceReader(store) as reader:
+        export_perfetto(reader, out)
+    with open(out, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _check_be_nesting(events):
+    """Every (pid, tid) lane must be a well-formed B/E bracket sequence
+    with non-decreasing timestamps — what Perfetto requires to render."""
+    stacks = {}
+    last_ts = None
+    for ev in events:
+        if ev["ph"] == "M":
+            continue
+        assert last_ts is None or ev["ts"] >= last_ts, "ts must be monotonic"
+        last_ts = ev["ts"]
+        key = (ev["pid"], ev["tid"])
+        stack = stacks.setdefault(key, [])
+        if ev["ph"] == "B":
+            stack.append(ev["ts"])
+        elif ev["ph"] == "E":
+            assert stack, f"E without B on {key}"
+            assert ev["ts"] >= stack[-1], "span ends before it begins"
+            stack.pop()
+    for key, stack in stacks.items():
+        assert not stack, f"unclosed B events on {key}: {stack}"
+
+
+def test_export_structure_and_metadata(tmp_path):
+    hub = ObsHub()
+    hub.span("lookup", 1, 0.0, 0.5)
+    hub.event("lookup.hop", 2, 0.25, rid=7, value=3.0)
+    doc = _export(hub, tmp_path)
+    assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+    events = doc["traceEvents"]
+    names = {e["name"] for e in events if e["ph"] == "M"}
+    assert names == {"process_name", "thread_name"}
+    (begin,) = [e for e in events if e["ph"] == "B"]
+    assert begin["name"] == "lookup" and begin["ts"] == 0.0
+    assert begin["args"]["status"] == "ok"
+    (instant,) = [e for e in events if e["ph"] == "i"]
+    assert instant["name"] == "lookup.hop" and instant["s"] == "t"
+    assert instant["ts"] == 0.25 * 1e6
+    _check_be_nesting(events)
+
+
+def test_overlapping_spans_overflow_into_lanes(tmp_path):
+    hub = ObsHub()
+    a = hub.begin("rpc", 1, 0.0)
+    b = hub.begin("rpc", 1, 1.0)  # overlaps a without nesting: [1, 3] vs [0, 2]
+    hub.end(a, 2.0)
+    hub.end(b, 3.0)
+    doc = _export(hub, tmp_path)
+    events = doc["traceEvents"]
+    _check_be_nesting(events)
+    thread_names = [e["args"]["name"] for e in events
+                    if e["ph"] == "M" and e["name"] == "thread_name"]
+    assert "node 1" in thread_names
+    assert any("lane 1" in n for n in thread_names), "overlap forces a lane"
+    begins = [e for e in events if e["ph"] == "B"]
+    assert len({e["tid"] for e in begins}) == 2
+
+
+def test_nested_and_zero_duration_spans_stay_wellformed(tmp_path):
+    hub = ObsHub()
+    root = hub.begin("job", 1, 0.0)
+    kid = hub.begin("job.execute", 1, 0.5, parent=root)
+    hub.end(kid, 0.5)   # zero-duration child at the same ts
+    hub.end(root, 1.0)
+    hub.span("antientropy.sweep", 1, 1.0, 1.0)  # zero-duration sibling
+    doc = _export(hub, tmp_path)
+    _check_be_nesting(doc["traceEvents"])
+    begins = [e for e in doc["traceEvents"] if e["ph"] == "B"]
+    ends = [e for e in doc["traceEvents"] if e["ph"] == "E"]
+    assert len(begins) == len(ends) == 3
+
+
+def test_multi_run_export_uses_one_pid_per_run(tmp_path):
+    h1, h2 = ObsHub(), ObsHub()
+    h1.span("lookup", 1, 0.0, 1.0)
+    h2.span("lookup", 1, 0.0, 2.0)
+    store = str(tmp_path / "m.npz")
+    write_store(store, {"run-000": h1, "run-001": h2})
+    with TraceReader(store) as reader:
+        events = trace_events(reader)
+        single = trace_events(reader, run="run-001")
+    procs = {e["args"]["name"] for e in events
+             if e["ph"] == "M" and e["name"] == "process_name"}
+    assert procs == {"run-000", "run-001"}
+    assert len({e["pid"] for e in events}) == 2
+    assert {e["pid"] for e in single} == {1}
+    _check_be_nesting(events)
+
+
+def test_full_scenario_export_is_valid(tmp_path):
+    result = run_scenario("storage", smoke=True, trace_out=str(tmp_path))
+    out = str(tmp_path / "scenario.json")
+    with TraceReader(result.obs["trace_file"]) as reader:
+        export_perfetto(reader, out)
+        span_rows = sum(len(reader.stream(r, "spans")) for r in reader.runs)
+    with open(out, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    events = doc["traceEvents"]
+    _check_be_nesting(events)
+    begins = sum(1 for e in events if e["ph"] == "B")
+    ends = sum(1 for e in events if e["ph"] == "E")
+    assert begins == ends == span_rows
+
+
+def test_obs_cli_export_perfetto_subcommand(tmp_path, capsys):
+    from repro.obs.cli import main as obs_cli
+
+    c = Cluster(seed=8).build(16).with_observability()
+    c.lookup_sync(origin=c.ids[0], target=c.ids[-1])
+    store = str(tmp_path / "cli.npz")
+    c.observability.write(store)
+    out = str(tmp_path / "cli.perfetto.json")
+    assert obs_cli(["export-perfetto", store, "-o", out]) == 0
+    assert "perfetto" in capsys.readouterr().out
+    with open(out, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    assert doc["traceEvents"]
+    # default output path derives from the store name
+    assert obs_cli(["export-perfetto", store]) == 0
+    assert (tmp_path / "cli.perfetto.json").exists()
