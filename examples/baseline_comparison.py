@@ -18,7 +18,6 @@ import numpy as np
 from repro import TreePConfig, TreePNetwork
 from repro.baselines import ChordNetwork, FloodNetwork
 from repro.core.repair import PAPER_POLICY, apply_failure_step
-from repro.workloads import LookupWorkload
 
 N = 512
 LOOKUPS = 200

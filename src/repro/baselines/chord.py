@@ -19,11 +19,10 @@ through the survivors, mirroring :mod:`repro.core.repair`.
 from __future__ import annotations
 
 import itertools
-from bisect import bisect_left, bisect_right
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
-import numpy as np
 
 from repro.core.lookup import LookupResult, LookupAlgorithm
 from repro.sim.engine import Simulator

@@ -28,9 +28,13 @@ ordering and scheduler failover.  It sits at the top of the subsystem
 stack and may import ``repro.cluster`` (the ``Service`` protocol),
 ``repro.storage`` (checkpoints ride the quorum path),
 ``repro.services`` (discovery aggregates for matchmaking),
-``repro.core``, ``repro.sim`` and ``repro.metrics``; nothing in
-``src/repro`` imports compute except the measurement layers
-(``repro.bench``, benchmarks, examples).  See ``docs/architecture.md``.
+``repro.obs`` (the scheduler's metrics registry), ``repro.core``,
+``repro.sim`` and ``repro.metrics``; nothing in ``src/repro`` imports
+compute except the package root ``repro``, the ``repro.workloads`` job
+generators, the ``repro.cluster`` facade (lazily, inside
+``with_compute``) and the measurement layer ``repro.bench``.  Checked by
+``python -m repro.lint`` (RPR201/RPR202) against
+``repro/lint/layers.toml``.  See ``docs/architecture.md``.
 """
 
 from repro.compute.job import (

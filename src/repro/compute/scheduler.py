@@ -433,8 +433,9 @@ class JobScheduler(Service):
         self.directory = ctx.require(
             "discovery", factory=ResourceDirectory
         )  # type: ignore[assignment]
-        if ctx.net.obs is not None:
-            ctx.net.obs.adopt_registry(self.name, self.metrics)
+        obs = ctx.net.obs
+        if obs is not None:
+            obs.adopt_registry(self.name, self.metrics)
 
     def setup_node(self, node) -> None:
         self.agents[node.ident] = ComputeAgent(node, self)

@@ -15,6 +15,14 @@ The overlay is built from the bottom up:
 * :mod:`repro.core.lookup` — the G / NG / NGSA routing algorithms.
 * :mod:`repro.core.treep` — :class:`~repro.core.treep.TreePNetwork`, the
   public orchestration API.
+
+Layer contract: the overlay core may import only ``repro.sim`` (the
+event kernel it runs on) and — for instrumentation reached only via
+nil-guarded hooks — the ambient ``repro.obs.runtime`` hub, no other
+``repro.obs`` module; it must not import ``repro.cluster``,
+``repro.services``, ``repro.storage`` or ``repro.compute`` — subsystems
+build on the core, never the reverse.  Checked by ``python -m
+repro.lint`` (RPR201/RPR202) against ``repro/lint/layers.toml``.
 """
 
 from repro.core.capacity import CapacityDistribution, NodeCapacity

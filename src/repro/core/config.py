@@ -7,7 +7,7 @@ configuration declaratively and ablations can vary exactly one field.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Literal, Optional
+from typing import Literal
 
 from repro.core.ids import IdSpace
 

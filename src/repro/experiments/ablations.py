@@ -16,22 +16,18 @@ Each function isolates one mechanism and returns comparable series/rows:
 
 from __future__ import annotations
 
-from dataclasses import replace
 from typing import Dict, List, Tuple
 
 import numpy as np
 
 from repro.core.config import TreePConfig
-from repro.core.maintenance import MaintenanceManager
 from repro.core.repair import (
     FULL_POLICY,
     PAPER_POLICY,
     PURGE_ONLY_POLICY,
-    RepairPolicy,
     apply_failure_step,
 )
 from repro.core.treep import TreePNetwork
-from repro.experiments.common import SweepConfig, run_failure_sweep
 from repro.sim.failures import FailureSchedule
 from repro.workloads.lookups import LookupWorkload
 

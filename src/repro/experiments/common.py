@@ -15,8 +15,8 @@ Both experimental cases are supported:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Literal, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Literal, Sequence, Tuple
 
 import numpy as np
 
@@ -25,7 +25,6 @@ from repro.core.config import TreePConfig
 from repro.core.lookup import LookupResult
 from repro.core.repair import PAPER_POLICY, RepairPolicy, apply_failure_step
 from repro.core.treep import TreePNetwork
-from repro.metrics.histogram import HopHistogram
 from repro.metrics.series import Series
 from repro.metrics.stats import LookupBatchStats, summarize_batch
 from repro.sim.failures import FailureSchedule

@@ -1,0 +1,173 @@
+"""``python -m repro.lint`` — the invariant analyzer's command line.
+
+Exit codes: 0 clean (or everything baselined/suppressed), 1 violations,
+2 usage or internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.engine import LintEngine, LintReport, load_baseline, write_baseline
+from repro.lint.layers import default_layers_path, load_layer_map
+from repro.lint.rules import all_rules
+
+FORMATS = ("text", "json", "github")
+
+
+def find_project_root(start: Optional[Path] = None) -> Path:
+    """Nearest ancestor with a pyproject.toml (falls back to the tree
+    this module was installed from, so the CLI works from any cwd)."""
+    here = (start or Path.cwd()).resolve()
+    for candidate in (here, *here.parents):
+        if (candidate / "pyproject.toml").exists():
+            return candidate
+    packaged = Path(__file__).resolve().parents[3]
+    return packaged
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST-based invariant analyzer: determinism (RPR1xx), "
+        "layer contracts (RPR2xx), lifecycle hygiene (RPR3xx), "
+        "perf/obs hygiene (RPR4xx).",
+    )
+    p.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    p.add_argument(
+        "--select", metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    p.add_argument(
+        "--ignore", metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    p.add_argument(
+        "--format", choices=FORMATS, default="text", dest="fmt",
+        help="output format (github emits workflow annotations)",
+    )
+    p.add_argument(
+        "--baseline", metavar="FILE", type=Path,
+        help="gate only on violations not recorded in FILE",
+    )
+    p.add_argument(
+        "--update-baseline", action="store_true",
+        help="record the current violations into --baseline FILE and exit 0",
+    )
+    p.add_argument(
+        "--layers", metavar="FILE", type=Path,
+        help=f"layer map (default: {default_layers_path().name} shipped "
+        f"with repro.lint)",
+    )
+    p.add_argument(
+        "--project-root", metavar="DIR", type=Path,
+        help="repo root for relative paths (default: nearest pyproject.toml)",
+    )
+    p.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return p
+
+
+def _codes(arg: Optional[str]) -> Optional[List[str]]:
+    if arg is None:
+        return None
+    return [c.strip() for c in arg.split(",") if c.strip()]
+
+
+def render(report: LintReport, fmt: str, stream) -> None:
+    if fmt == "json":
+        payload = {
+            "violations": [
+                {
+                    "code": v.code, "path": v.path, "line": v.line,
+                    "col": v.col, "message": v.message,
+                }
+                for v in report.violations
+            ],
+            "summary": {
+                "files": report.files,
+                "violations": len(report.violations),
+                "suppressed": report.suppressed,
+                "baselined": report.baselined,
+            },
+        }
+        json.dump(payload, stream, indent=2)
+        stream.write("\n")
+        return
+    for v in report.violations:
+        if fmt == "github":
+            stream.write(
+                f"::error file={v.path},line={v.line},col={v.col},"
+                f"title={v.code}::{v.message}\n"
+            )
+        else:
+            stream.write(f"{v.path}:{v.line}:{v.col} {v.code} {v.message}\n")
+    if fmt == "text":
+        tail = []
+        if report.suppressed:
+            tail.append(f"{report.suppressed} suppressed")
+        if report.baselined:
+            tail.append(f"{report.baselined} baselined")
+        extra = f" ({', '.join(tail)})" if tail else ""
+        stream.write(
+            f"{len(report.violations)} violation(s) in {report.files} "
+            f"file(s){extra}\n"
+        )
+
+
+def main(argv: Optional[Sequence[str]] = None, stream=None) -> int:
+    stream = stream or sys.stdout
+    args = build_parser().parse_args(argv)
+    rules = all_rules()
+    if args.list_rules:
+        for code in sorted(rules):
+            r = rules[code]
+            stream.write(f"{code}  {r.name}: {r.summary}\n")
+        return 0
+    try:
+        root = (args.project_root or find_project_root()).resolve()
+        layers = load_layer_map(args.layers)
+        engine = LintEngine(
+            root=root,
+            rules={c: r.check for c, r in rules.items()},
+            layers=layers,
+            select=_codes(args.select),
+            ignore=_codes(args.ignore),
+        )
+    except (KeyError, ValueError, OSError) as exc:
+        sys.stderr.write(f"repro.lint: {exc}\n")
+        return 2
+    if args.update_baseline:
+        if args.baseline is None:
+            sys.stderr.write("repro.lint: --update-baseline requires --baseline FILE\n")
+            return 2
+        report = engine.run(args.paths)
+        write_baseline(args.baseline, report.violations)
+        stream.write(
+            f"baseline: recorded {len(report.violations)} violation(s) "
+            f"to {args.baseline}\n"
+        )
+        return 0
+    baseline = None
+    if args.baseline is not None:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            sys.stderr.write(f"repro.lint: cannot read baseline: {exc}\n")
+            return 2
+    try:
+        report = engine.run(args.paths, baseline=baseline)
+    except (OSError, ValueError) as exc:
+        sys.stderr.write(f"repro.lint: {exc}\n")
+        return 2
+    render(report, args.fmt, stream)
+    return 0 if report.clean else 1

@@ -1,0 +1,99 @@
+"""RPR3xx — lifecycle hygiene.
+
+PR 3 made handler/timer leaks *structurally* impossible for code that goes
+through the Service registry (``ServiceContext.every`` /
+``node_handlers``): the registry sweeps everything on detach and node
+departure.  Code that wires raw ``node.register_handler`` or ``sim.every``
+outside that path re-acquires the leak risk — RPR301 demands the class
+own the matching ``unregister_handler`` / ``stop``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.lint.engine import FileContext, ProjectContext, Violation
+from repro.lint.rules import rule
+
+DEFAULT_REGISTRY_FILES = frozenset(
+    {"repro/cluster/registry.py", "repro/cluster/service.py"}
+)
+
+_STOP_ATTRS = frozenset({"stop", "stop_all", "cancel"})
+
+
+def _registry_files(project: ProjectContext) -> frozenset:
+    layers = project.layers
+    if layers is not None:
+        cfg = layers.config.get("lifecycle", {})
+        if "registry_files" in cfg:
+            return frozenset(cfg["registry_files"])
+    return DEFAULT_REGISTRY_FILES
+
+
+def _receiver_chain(node: ast.AST) -> List[str]:
+    """``self.ctx.every`` -> ['self', 'ctx', 'every'] (best effort)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    elif isinstance(node, ast.Call):
+        parts.extend(_receiver_chain(node.func))
+    return list(reversed(parts))
+
+
+def _attr_calls(tree: ast.AST, attr: str) -> List[ast.Call]:
+    return [
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == attr
+    ]
+
+
+@rule(
+    "RPR301",
+    "paired-lifecycle-cleanup",
+    "raw register_handler/sim.every outside the registry path needs a paired "
+    "unregister/stop in the same class",
+)
+def check_lifecycle_pairing(
+    ctx: FileContext, project: ProjectContext
+) -> Iterator[Violation]:
+    key = ctx.relpath[len("src/"):] if ctx.relpath.startswith("src/") else ctx.relpath
+    if key in _registry_files(project):
+        return  # the registry path itself owns cleanup by construction
+    for klass in ast.walk(ctx.tree):
+        if not isinstance(klass, ast.ClassDef):
+            continue
+        has_unregister = bool(_attr_calls(klass, "unregister_handler"))
+        has_stop = any(
+            _attr_calls(klass, attr) for attr in _STOP_ATTRS
+        )
+        for call in _attr_calls(klass, "register_handler"):
+            if not has_unregister:
+                yield ctx.violation(
+                    "RPR301",
+                    call,
+                    f"class {klass.name} calls register_handler outside the "
+                    f"Service registry path without a paired "
+                    f"unregister_handler; route through node_handlers()/"
+                    f"ServiceRegistry or unregister in teardown",
+                )
+        for call in _attr_calls(klass, "every"):
+            chain = _receiver_chain(call.func)
+            if "ctx" in chain[:-1]:
+                continue  # ServiceContext.every: registry-owned auto-cancel
+            if not has_stop:
+                yield ctx.violation(
+                    "RPR301",
+                    call,
+                    f"class {klass.name} arms a periodic timer via "
+                    f"{'.'.join(chain)}(...) without a paired stop()/cancel() "
+                    f"in the class; use ctx.every(...) or stop the timer in "
+                    f"teardown",
+                )

@@ -1,13 +1,16 @@
 """Unified observability: span tracing, metrics, and the columnar trace store.
 
-Layering contract: this package's core modules (``metrics``, ``columnar``,
-``hub``, ``store``, ``runtime``, ``query``) import only NumPy, the stdlib,
-and each other — never ``repro.core`` or ``repro.cluster`` — so the
-simulation core can import :func:`~repro.obs.runtime.ambient_hub` without a
-cycle.  The two modules that *do* look upward are therefore not imported
-here: :mod:`repro.obs.service` (the attachable ``Observability`` service;
-``Cluster.with_observability`` imports it lazily) and :mod:`repro.obs.cli`
-(the ``python -m repro.obs`` query CLI).
+Layering contract: the core modules of this package (metrics, columnar,
+hub, store, runtime, query and the analytics tier) must not import
+``repro.core`` or ``repro.cluster``, so the simulation core can import
+:func:`~repro.obs.runtime.ambient_hub` without a cycle.  Their only look
+*down* is the hub's lazily imported ``repro.sim`` event type; everything
+else is NumPy, the stdlib and each other.  The two modules that *do* look
+upward are therefore not imported here and carry per-module overrides in
+``repro/lint/layers.toml``: :mod:`repro.obs.service` (the attachable
+``Observability`` service; ``Cluster.with_observability`` imports it
+lazily) and :mod:`repro.obs.cli` (the ``python -m repro.obs`` query CLI).
+Checked by ``python -m repro.lint`` (RPR201/RPR202).
 
 Typical entry points:
 

@@ -19,7 +19,7 @@ placement (or eagerly via :meth:`LoadBalancer.refresh`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np

@@ -51,7 +51,7 @@ def _type_meta(ptype: type) -> tuple:
     return meta
 
 
-class Process:
+class Process:  # repro-lint: disable=RPR401 per-node engine base, not a per-message record; subsystems attach ad-hoc attributes (obs, maintenance, service state) so it keeps a __dict__
     """Base class for anything that receives datagrams.
 
     Subclasses implement :meth:`on_datagram`.  Registration with the network
@@ -104,7 +104,7 @@ class NetworkStats:
         )
 
 
-class Network:
+class Network:  # repro-lint: disable=RPR401 one instance per simulation; slotting buys nothing and hooks/partition state evolve per PR
     """The datagram fabric.
 
     Parameters

@@ -34,7 +34,7 @@ from repro.cluster.service import (
     warn_direct_wire,
 )
 from repro.core.messages import StoreReplicate
-from repro.metrics.durability import DurabilityTracker, ReplicationSample
+from repro.metrics.durability import DurabilityTracker
 from repro.storage.quorum import REPAIR_RID, ReplicatedStore
 from repro.storage.store import VersionedValue
 

@@ -31,7 +31,7 @@ Construct through :meth:`repro.cluster.Cluster.with_storage`; the direct
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.cluster.registry import attach_service

@@ -6,7 +6,7 @@ figures show, directly into the terminal / bench log.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

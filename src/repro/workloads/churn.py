@@ -8,7 +8,7 @@ or sampled from session/downtime distributions, replayable onto a network.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, List, Literal, Sequence, Tuple
+from typing import Iterator, List, Literal, Sequence
 
 import numpy as np
 

@@ -8,8 +8,6 @@ from repro import (
     ComputeConfig,
     JobScheduler,
     JobSpec,
-    QuorumConfig,
-    ReplicatedStore,
     TreePConfig,
     TreePNetwork,
 )

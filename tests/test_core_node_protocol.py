@@ -6,8 +6,7 @@ import pytest
 
 from repro import TreePConfig, TreePNetwork
 from repro.core.capacity import NodeCapacity, uniform_capacity
-from repro.core.maintenance import MaintenanceManager
-from repro.core.messages import Hello, LookupRequest
+from repro.core.messages import Hello
 from repro.core.node import TreePNode
 from repro.sim.engine import Simulator
 from repro.sim.latency import ConstantLatency

@@ -8,7 +8,6 @@ from repro.core.repair import (
     FULL_POLICY,
     PAPER_POLICY,
     PURGE_ONLY_POLICY,
-    RepairPolicy,
     apply_failure_step,
     converge,
     gossip_round,

@@ -8,7 +8,6 @@ from hypothesis import strategies as st
 from repro.core.capacity import CapacityDistribution
 from repro.core.config import TreePConfig
 from repro.core.tessellation2d import (
-    Layout2D,
     PlaneSpace,
     assign_points,
     build_layout_2d,

@@ -6,7 +6,6 @@ holds together end to end; services survive on a stressed overlay.
 """
 
 import numpy as np
-import pytest
 
 from repro import TreePConfig, TreePNetwork
 from repro.core.repair import (

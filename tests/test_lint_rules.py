@@ -1,0 +1,544 @@
+"""Per-rule behaviour of the ``repro.lint`` invariant analyzer.
+
+Every rule is exercised four ways against seeded fixture trees: a
+negative fixture the rule must flag, a clean fixture it must pass, a
+justified suppression it must honour, and a bare (justification-free)
+suppression it must reject with RPR001 while keeping the original
+violation.  Engine-level behaviour (baseline, select/ignore, output
+formats, parse errors) rides on the same fixtures.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint.cli import main
+from repro.lint.engine import (
+    LintEngine,
+    load_baseline,
+    parse_suppressions,
+    write_baseline,
+)
+from repro.lint.layers import load_layer_map
+from repro.lint.rules import all_rules
+
+# A miniature layer map mirroring the real repo's shape: a kernel (sim),
+# a core that may reach obs only via its runtime hub, a storage tier, a
+# cluster facade with lazy composition imports, and a bench leaf.
+FIXTURE_LAYERS = """\
+[package.repro]
+may_import = ["core"]
+
+[package.sim]
+may_import = []
+
+[package.core]
+may_import = ["sim", "obs"]
+
+[package.core.via]
+obs = ["repro.obs.runtime"]
+
+[package.obs]
+may_import = []
+
+[package.storage]
+may_import = ["core"]
+
+[package.cluster]
+may_import = ["core"]
+lazy = ["storage"]
+
+[package.bench]
+may_import = ["cluster", "core", "storage"]
+
+[consumers]
+bench = []
+
+[determinism]
+packages = ["core", "sim", "storage"]
+
+[slots]
+modules = ["repro/core/messages.py"]
+
+[lifecycle]
+registry_files = ["repro/cluster/registry.py"]
+
+[obs_guard]
+packages = ["cluster", "core"]
+"""
+
+
+def make_project(tmp_path: Path, files: dict) -> Path:
+    (tmp_path / "pyproject.toml").write_text("[tool.repro-fixture]\n")
+    layers_file = tmp_path / "layers.toml"
+    layers_file.write_text(FIXTURE_LAYERS)
+    for rel, source in files.items():
+        p = tmp_path / rel
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(source)
+    return layers_file
+
+
+def run_lint(tmp_path: Path, files: dict, select=None, ignore=None, baseline=None):
+    layers_file = make_project(tmp_path, files)
+    engine = LintEngine(
+        root=tmp_path,
+        rules={code: r.check for code, r in all_rules().items()},
+        layers=load_layer_map(layers_file),
+        select=select,
+        ignore=ignore,
+    )
+    return engine.run([tmp_path / "src"], baseline=baseline)
+
+
+def codes(report):
+    return [v.code for v in report.violations]
+
+
+# ---------------------------------------------------------------- RPR101
+class TestRPR101:
+    def test_wall_clock_read_flagged(self, tmp_path):
+        report = run_lint(tmp_path, {
+            "src/repro/core/clock.py":
+                "import time\n\n\ndef stamp():\n    return time.time()\n",
+        })
+        assert codes(report) == ["RPR101"]
+        assert "wall-clock" in report.violations[0].message
+
+    def test_from_import_alias_resolved(self, tmp_path):
+        report = run_lint(tmp_path, {
+            "src/repro/sim/clock.py":
+                "from time import time as now\n\n\ndef stamp():\n    return now()\n",
+        })
+        assert codes(report) == ["RPR101"]
+
+    def test_global_random_flagged_seeded_instance_passes(self, tmp_path):
+        report = run_lint(tmp_path, {
+            "src/repro/core/draw.py":
+                "import random\n\n\ndef bad():\n    return random.random()\n",
+            "src/repro/core/seeded.py":
+                "import random\n\nRNG = random.Random(7)\n\n\n"
+                "def good():\n    return RNG.random()\n",
+        })
+        assert codes(report) == ["RPR101"]
+        assert report.violations[0].path == "src/repro/core/draw.py"
+
+    def test_out_of_scope_package_ignored(self, tmp_path):
+        # bench is not in [determinism] packages: measurement code may
+        # read the wall clock.
+        report = run_lint(tmp_path, {
+            "src/repro/bench/timer.py":
+                "import time\n\n\ndef stamp():\n    return time.time()\n",
+        })
+        assert report.clean
+
+    def test_suppression_with_justification_honoured(self, tmp_path):
+        report = run_lint(tmp_path, {
+            "src/repro/core/clock.py":
+                "import time\n\n\ndef stamp():\n"
+                "    return time.time()  # repro-lint: disable=RPR101"
+                " fixture exercises the suppression protocol\n",
+        })
+        assert report.clean
+        assert report.suppressed == 1
+
+    def test_bare_suppression_rejected(self, tmp_path):
+        report = run_lint(tmp_path, {
+            "src/repro/core/clock.py":
+                "import time\n\n\ndef stamp():\n"
+                "    return time.time()  # repro-lint: disable=RPR101\n",
+        })
+        assert sorted(codes(report)) == ["RPR001", "RPR101"]
+
+
+# ---------------------------------------------------------------- RPR102
+class TestRPR102:
+    def test_set_union_iteration_flagged(self, tmp_path):
+        report = run_lint(tmp_path, {
+            "src/repro/core/route.py":
+                "def pick(a, b):\n    for x in a | {1, 2}:\n        return x\n",
+        })
+        assert codes(report) == ["RPR102"]
+
+    def test_sorted_wrapper_passes(self, tmp_path):
+        report = run_lint(tmp_path, {
+            "src/repro/core/route.py":
+                "def pick(a):\n    for x in sorted(a | {1, 2}):\n        return x\n",
+        })
+        assert report.clean
+
+
+# ---------------------------------------------------------------- RPR201
+class TestRPR201:
+    def test_forbidden_edge_flagged(self, tmp_path):
+        report = run_lint(tmp_path, {
+            "src/repro/core/bad.py": "import repro.storage\n",
+        })
+        assert codes(report) == ["RPR201"]
+        assert "may not import `storage`" in report.violations[0].message
+
+    def test_lazy_only_package_at_module_scope_flagged(self, tmp_path):
+        report = run_lint(tmp_path, {
+            "src/repro/cluster/eager.py": "from repro.storage import store\n",
+        })
+        assert codes(report) == ["RPR201"]
+        assert "only lazily" in report.violations[0].message
+
+    def test_lazy_import_in_function_scope_passes(self, tmp_path):
+        report = run_lint(tmp_path, {
+            "src/repro/cluster/facade.py":
+                "def with_storage():\n"
+                "    from repro.storage import store\n"
+                "    return store\n",
+        })
+        assert report.clean
+
+    def test_via_restriction_enforced(self, tmp_path):
+        report = run_lint(tmp_path, {
+            "src/repro/core/hooks.py": "from repro.obs.hub import ObsHub\n",
+            "src/repro/core/ambient.py": "from repro.obs.runtime import ambient_hub\n",
+        })
+        assert codes(report) == ["RPR201"]
+        assert report.violations[0].path == "src/repro/core/hooks.py"
+        assert "only via repro.obs.runtime" in report.violations[0].message
+
+    def test_allowed_edge_passes(self, tmp_path):
+        report = run_lint(tmp_path, {
+            "src/repro/storage/store.py": "from repro.core import ids\n",
+        })
+        assert report.clean
+
+
+# ---------------------------------------------------------------- RPR202
+class TestRPR202:
+    def test_contract_drift_flagged(self, tmp_path):
+        # The prose forbids an edge the layer map allows.
+        report = run_lint(tmp_path, {
+            "src/repro/storage/__init__.py":
+                '"""Storage tier.\n\n'
+                "Layer contract: the storage tier must not import"
+                ' ``repro.core``.\n"""\n',
+        })
+        assert codes(report) == ["RPR202"]
+        assert "forbids storage -> core" in report.violations[0].message
+
+    def test_matching_contract_passes(self, tmp_path):
+        report = run_lint(tmp_path, {
+            "src/repro/storage/__init__.py":
+                '"""Storage tier.\n\n'
+                "Layer contract: the storage tier may import only"
+                ' ``repro.core``.\n"""\n',
+        })
+        assert report.clean
+
+    def test_docstring_without_contract_ignored(self, tmp_path):
+        report = run_lint(tmp_path, {
+            "src/repro/storage/__init__.py":
+                '"""Storage tier: replicated stores and read repair."""\n',
+        })
+        assert report.clean
+
+
+# ---------------------------------------------------------------- RPR301
+class TestRPR301:
+    def test_unpaired_register_handler_flagged(self, tmp_path):
+        report = run_lint(tmp_path, {
+            "src/repro/cluster/svc.py":
+                "class Probe:\n"
+                "    def attach(self, node):\n"
+                "        node.register_handler('ping', self.on_ping)\n",
+        })
+        assert codes(report) == ["RPR301"]
+
+    def test_paired_register_handler_passes(self, tmp_path):
+        report = run_lint(tmp_path, {
+            "src/repro/cluster/svc.py":
+                "class Probe:\n"
+                "    def attach(self, node):\n"
+                "        node.register_handler('ping', self.on_ping)\n"
+                "    def detach(self, node):\n"
+                "        node.unregister_handler('ping')\n",
+        })
+        assert report.clean
+
+    def test_raw_sim_every_without_stop_flagged(self, tmp_path):
+        report = run_lint(tmp_path, {
+            "src/repro/cluster/beat.py":
+                "class Beat:\n"
+                "    def start(self, sim):\n"
+                "        self.timer = sim.every(1.0, self.tick)\n",
+        })
+        assert codes(report) == ["RPR301"]
+
+    def test_ctx_every_is_registry_owned(self, tmp_path):
+        report = run_lint(tmp_path, {
+            "src/repro/cluster/beat.py":
+                "class Beat:\n"
+                "    def start(self, ctx):\n"
+                "        ctx.every(1.0, self.tick)\n",
+        })
+        assert report.clean
+
+    def test_registry_file_itself_exempt(self, tmp_path):
+        report = run_lint(tmp_path, {
+            "src/repro/cluster/registry.py":
+                "class Registry:\n"
+                "    def attach(self, node):\n"
+                "        node.register_handler('ping', self.on_ping)\n",
+        })
+        assert report.clean
+
+
+# ---------------------------------------------------------------- RPR401
+class TestRPR401:
+    def test_plain_class_in_hot_module_flagged(self, tmp_path):
+        report = run_lint(tmp_path, {
+            "src/repro/core/messages.py":
+                "class Ping:\n    def __init__(self):\n        self.seq = 0\n",
+        })
+        assert codes(report) == ["RPR401"]
+
+    def test_slotted_variants_pass(self, tmp_path):
+        report = run_lint(tmp_path, {
+            "src/repro/core/messages.py":
+                "from dataclasses import dataclass\n"
+                "from typing import NamedTuple\n\n\n"
+                "@dataclass(frozen=True, slots=True)\n"
+                "class Ping:\n    seq: int\n\n\n"
+                "class Pong(NamedTuple):\n    seq: int\n\n\n"
+                "class Raw:\n    __slots__ = ('seq',)\n",
+        })
+        assert report.clean
+
+    def test_other_modules_unconstrained(self, tmp_path):
+        report = run_lint(tmp_path, {
+            "src/repro/core/helpers.py":
+                "class Scratch:\n    def __init__(self):\n        self.x = 0\n",
+        })
+        assert report.clean
+
+
+# ---------------------------------------------------------------- RPR402
+class TestRPR402:
+    def test_chained_obs_use_flagged(self, tmp_path):
+        report = run_lint(tmp_path, {
+            "src/repro/core/instr.py":
+                "class Node:\n"
+                "    def send(self):\n"
+                "        self.obs.record_event(1)\n",
+        })
+        assert codes(report) == ["RPR402"]
+
+    def test_guard_on_attribute_chain_flagged(self, tmp_path):
+        report = run_lint(tmp_path, {
+            "src/repro/core/instr.py":
+                "class Node:\n"
+                "    def send(self, payload):\n"
+                "        if self.net.obs is not None:\n"
+                "            record(payload)\n",
+        })
+        assert codes(report) == ["RPR402"]
+
+    def test_local_bind_pattern_passes(self, tmp_path):
+        report = run_lint(tmp_path, {
+            "src/repro/core/instr.py":
+                "class Node:\n"
+                "    def send(self, payload):\n"
+                "        obs = self.obs\n"
+                "        if obs is not None:\n"
+                "            obs.record_event(payload)\n",
+        })
+        assert report.clean
+
+    def test_out_of_scope_package_ignored(self, tmp_path):
+        # bench reads `result.obs` as a plain JSON field; not flagged.
+        report = run_lint(tmp_path, {
+            "src/repro/bench/report.py":
+                "def fields(result):\n    return result.obs.events\n",
+        })
+        assert report.clean
+
+
+# ------------------------------------------------------------ suppressions
+class TestSuppressionProtocol:
+    def test_string_literal_cannot_create_phantom_suppression(self):
+        sups = parse_suppressions(
+            'MSG = "see # repro-lint: disable=RPR101 for details"\n'
+        )
+        assert sups == {}
+
+    def test_multi_code_suppression(self, tmp_path):
+        report = run_lint(tmp_path, {
+            "src/repro/core/both.py":
+                "import time\n\n\ndef f(s):\n"
+                "    return [time.time() for x in s | {1}]"
+                "  # repro-lint: disable=RPR101,RPR102"
+                " fixture: one line, two invariants\n",
+        })
+        # The comprehension's iterable and the call sit on the same
+        # line; both codes land on it and both are suppressed.
+        assert report.clean
+        assert report.suppressed == 2
+
+    def test_suppression_for_other_code_does_not_apply(self, tmp_path):
+        report = run_lint(tmp_path, {
+            "src/repro/core/clock.py":
+                "import time\n\n\ndef stamp():\n"
+                "    return time.time()  # repro-lint: disable=RPR402"
+                " wrong code on purpose\n",
+        })
+        assert "RPR101" in codes(report)
+
+
+# ------------------------------------------------------------------ engine
+class TestEngine:
+    def test_syntax_error_reported_as_rpr000(self, tmp_path):
+        report = run_lint(tmp_path, {
+            "src/repro/core/broken.py": "def f(:\n",
+        })
+        assert codes(report) == ["RPR000"]
+
+    def test_select_runs_only_named_rules(self, tmp_path):
+        files = {
+            "src/repro/core/mix.py":
+                "import time\n\n\nclass Node:\n"
+                "    def f(self):\n"
+                "        time.time()\n"
+                "        self.obs.record(1)\n",
+        }
+        report = run_lint(tmp_path, dict(files), select=["RPR101"])
+        assert codes(report) == ["RPR101"]
+
+    def test_ignore_drops_named_rules(self, tmp_path):
+        files = {
+            "src/repro/core/mix.py":
+                "import time\n\n\nclass Node:\n"
+                "    def f(self):\n"
+                "        time.time()\n"
+                "        self.obs.record(1)\n",
+        }
+        report = run_lint(tmp_path, dict(files), ignore=["RPR101"])
+        assert codes(report) == ["RPR402"]
+
+    def test_unknown_rule_code_rejected(self, tmp_path):
+        with pytest.raises(KeyError):
+            run_lint(tmp_path, {}, select=["RPR999"])
+
+    def test_baseline_roundtrip(self, tmp_path):
+        files = {
+            "src/repro/core/clock.py":
+                "import time\n\n\ndef stamp():\n    return time.time()\n",
+        }
+        report = run_lint(tmp_path, dict(files))
+        assert len(report.violations) == 1
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, report.violations)
+        budget = load_baseline(baseline_file)
+        assert sum(budget.values()) == 1
+        again = run_lint(tmp_path, dict(files), baseline=budget)
+        assert again.clean
+        assert again.baselined == 1
+
+    def test_baseline_does_not_mask_new_violations(self, tmp_path):
+        files = {
+            "src/repro/core/clock.py":
+                "import time\n\n\ndef stamp():\n    return time.time()\n",
+        }
+        report = run_lint(tmp_path, dict(files))
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(baseline_file, report.violations)
+        budget = load_baseline(baseline_file)
+        files["src/repro/core/clock2.py"] = (
+            "import time\n\n\ndef stamp():\n    return time.monotonic()\n"
+        )
+        again = run_lint(tmp_path, dict(files), baseline=budget)
+        assert codes(again) == ["RPR101"]
+        assert again.violations[0].path == "src/repro/core/clock2.py"
+
+
+# --------------------------------------------------------------------- CLI
+class TestCli:
+    def _argv(self, tmp_path, *extra):
+        return [
+            str(tmp_path / "src"),
+            "--project-root", str(tmp_path),
+            "--layers", str(tmp_path / "layers.toml"),
+            *extra,
+        ]
+
+    def test_exit_codes_and_text_format(self, tmp_path):
+        make_project(tmp_path, {
+            "src/repro/core/clock.py":
+                "import time\n\n\ndef stamp():\n    return time.time()\n",
+            "src/repro/core/ok.py": "X = 1\n",
+        })
+        out = io.StringIO()
+        assert main(self._argv(tmp_path), stream=out) == 1
+        text = out.getvalue()
+        assert "src/repro/core/clock.py:5:" in text
+        assert "RPR101" in text
+        assert "1 violation(s) in 2 file(s)" in text
+
+    def test_json_format(self, tmp_path):
+        make_project(tmp_path, {
+            "src/repro/core/clock.py":
+                "import time\n\n\ndef stamp():\n    return time.time()\n",
+        })
+        out = io.StringIO()
+        assert main(self._argv(tmp_path, "--format", "json"), stream=out) == 1
+        payload = json.loads(out.getvalue())
+        assert payload["summary"]["violations"] == 1
+        [violation] = payload["violations"]
+        assert violation["code"] == "RPR101"
+        assert violation["path"] == "src/repro/core/clock.py"
+
+    def test_github_format(self, tmp_path):
+        make_project(tmp_path, {
+            "src/repro/core/clock.py":
+                "import time\n\n\ndef stamp():\n    return time.time()\n",
+        })
+        out = io.StringIO()
+        assert main(self._argv(tmp_path, "--format", "github"), stream=out) == 1
+        line = out.getvalue().splitlines()[0]
+        assert line.startswith("::error file=src/repro/core/clock.py,line=5,")
+        assert "title=RPR101::" in line
+
+    def test_clean_tree_exits_zero(self, tmp_path):
+        make_project(tmp_path, {"src/repro/core/ok.py": "X = 1\n"})
+        out = io.StringIO()
+        assert main(self._argv(tmp_path), stream=out) == 0
+
+    def test_unknown_select_is_usage_error(self, tmp_path):
+        make_project(tmp_path, {"src/repro/core/ok.py": "X = 1\n"})
+        out = io.StringIO()
+        assert main(self._argv(tmp_path, "--select", "RPR999"), stream=out) == 2
+
+    def test_update_baseline_then_gate(self, tmp_path):
+        make_project(tmp_path, {
+            "src/repro/core/clock.py":
+                "import time\n\n\ndef stamp():\n    return time.time()\n",
+        })
+        baseline = tmp_path / "lint-baseline.json"
+        out = io.StringIO()
+        assert main(
+            self._argv(tmp_path, "--baseline", str(baseline), "--update-baseline"),
+            stream=out,
+        ) == 0
+        assert json.loads(baseline.read_text())["version"] == 1
+        out = io.StringIO()
+        assert main(
+            self._argv(tmp_path, "--baseline", str(baseline)), stream=out
+        ) == 0
+
+    def test_list_rules(self, tmp_path):
+        make_project(tmp_path, {})
+        out = io.StringIO()
+        assert main(["--list-rules"], stream=out) == 0
+        listing = out.getvalue()
+        for code in ("RPR101", "RPR102", "RPR201", "RPR202",
+                     "RPR301", "RPR401", "RPR402"):
+            assert code in listing

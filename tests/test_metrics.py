@@ -1,6 +1,5 @@
 """Unit + property tests for series, histograms and batch stats."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -5,7 +5,7 @@ import numpy as np
 import pytest
 
 from repro.obs.hub import STATUS_OK, STATUS_TIMEOUT, ObsHub
-from repro.obs.store import SCHEMA, StreamView, TraceReader, write_store
+from repro.obs.store import SCHEMA, TraceReader, write_store
 
 
 def _hub_with_traffic(chunk=4096, n=10, offset=0):

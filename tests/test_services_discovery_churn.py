@@ -2,7 +2,6 @@
 peers, and must find rejoined capacity again."""
 
 import numpy as np
-import pytest
 
 from repro import CapacityDistribution, NodeCapacity, TreePConfig, TreePNetwork
 from repro.core.repair import FULL_POLICY, apply_failure_step

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro import TreePConfig, TreePNetwork
-from repro.services.loadbalance import LoadBalancer, Placement, Task
+from repro.services.loadbalance import LoadBalancer, Task
 from repro.workloads import grid_cluster_mix, homogeneous_mix
 
 

@@ -1,6 +1,5 @@
 """Unit tests for the versioned per-node KVStore."""
 
-import pytest
 
 from repro.storage.store import KVStore, VersionedValue, hash_key
 
