@@ -30,10 +30,13 @@ Public surface:
   simulated substrate.
 * :mod:`repro.experiments` — one runner per figure of the paper's §IV.
 * :mod:`repro.bench` — the unified benchmark harness:
-  ``python -m repro.bench run|list|compare|report`` over 23 declarative
-  scenarios — including the ``scale_*`` 10k-node sweeps behind
-  ``docs/performance.md`` — writing versioned ``BenchResult`` JSON to
-  ``benchmarks/out/`` (the repo's perf trajectory).
+  ``python -m repro.bench run|list|compare|report|campaign`` over 23
+  declarative scenarios — including the ``scale_*`` 10k-node sweeps
+  behind ``docs/performance.md`` — writing versioned ``BenchResult``
+  JSON to ``benchmarks/out/`` (the repo's perf trajectory); ``campaign``
+  fans a scenario × params × seeds matrix across worker processes and
+  aggregates mean/std/confidence-interval per metric, gated on CI
+  overlap by ``compare``.
 * :mod:`repro.obs` — the unified observability layer: span/event tracing
   across lookups, quorum RW, anti-entropy and job lifecycles
   (``Cluster(...).with_observability()`` or ``--trace-out`` on the bench
@@ -60,7 +63,7 @@ from repro.core.treep import TreePNetwork
 from repro.obs import MetricsRegistry, ObsHub, TraceReader
 from repro.storage import AntiEntropy, QuorumConfig, ReplicatedStore
 
-__version__ = "1.7.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "AntiEntropy",

@@ -16,9 +16,15 @@ Entry points:
 * ``python -m repro.bench run --smoke`` — CI's smoke pass: every
   scenario at reduced parameters, schema-valid JSON out.
 * ``python -m repro.bench compare benchmarks/out old/`` — regression
-  gate between two trajectory points.
+  gate between two trajectory points (campaign aggregates are gated on
+  CI overlap).
 * ``python -m repro.bench report`` — the markdown ``docs/benchmarks.md``
   embeds.
+* ``python -m repro.bench campaign SPEC --workers N`` — a
+  scenario × params × seeds matrix fanned across spawn workers,
+  aggregated to mean/std/confidence-interval per metric
+  (:mod:`repro.bench.campaign`; ``campaign report`` and ``campaign
+  compare`` render and gate the aggregates).
 
 Scenario definitions live in :mod:`repro.bench.scenarios`; importing
 that package (done lazily by the CLI and the pytest glue, eagerly by
@@ -27,6 +33,17 @@ that package (done lazily by the CLI and the pytest glue, eagerly by
 
 from repro.bench.compare import Comparison, MetricDelta, compare_results
 from repro.bench.result import SCHEMA, BenchResult, git_sha, load_results
+from repro.bench.campaign import (
+    CAMPAIGN_SCHEMA,
+    CampaignResult,
+    CampaignSpec,
+    compare_campaigns,
+    deterministic_view,
+    load_campaign,
+    load_campaigns,
+    parse_campaign,
+    run_campaign,
+)
 from repro.bench.runner import run_scenario
 from repro.bench.scenario import (
     Check,
@@ -40,6 +57,9 @@ from repro.bench.testing import pytest_scenario
 
 __all__ = [
     "BenchResult",
+    "CAMPAIGN_SCHEMA",
+    "CampaignResult",
+    "CampaignSpec",
     "Check",
     "Comparison",
     "Metric",
@@ -48,10 +68,16 @@ __all__ = [
     "Scenario",
     "ScenarioOutput",
     "ScenarioRegistry",
+    "compare_campaigns",
     "compare_results",
+    "deterministic_view",
     "git_sha",
+    "load_campaign",
+    "load_campaigns",
     "load_results",
+    "parse_campaign",
     "pytest_scenario",
     "registry",
+    "run_campaign",
     "run_scenario",
 ]

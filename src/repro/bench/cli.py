@@ -1,4 +1,4 @@
-"""The harness CLI: ``python -m repro.bench run|list|compare|report``.
+"""The harness CLI: ``python -m repro.bench run|list|compare|report|campaign``.
 
 * ``list`` — the scenario catalogue (name, group, params, metric count).
 * ``run [NAMES] [--group G] [--smoke] [--seed S] [--set k=v] [--out DIR]``
@@ -8,24 +8,50 @@
   scenario check fails (``--no-checks`` downgrades that to a report).
 * ``compare OLD NEW [--threshold T] [--scenario NAME]`` — diff two result
   files/directories; exit 1 on any regression beyond the threshold.
+  Campaign aggregates (``campaign_*.json``) are recognised and gated on
+  **CI overlap** of each param point instead of point deltas.
 * ``report [--results DIR] [--scenarios-only]`` — markdown for the docs.
+* ``campaign SPEC [--workers N] [--smoke] [--out DIR]`` — run a
+  scenario × params × seeds matrix across processes and aggregate
+  mean/std/CI per metric (``campaign report`` / ``campaign compare``
+  render and gate the aggregates; see :mod:`repro.bench.campaign`).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 import repro.bench.scenarios  # noqa: F401  (populates the registry)
+from repro.bench.campaign import (
+    CAMPAIGN_SCHEMA,
+    CampaignResult,
+    compare_campaigns,
+    load_campaign,
+    load_campaigns,
+    run_campaign,
+)
 from repro.bench.compare import DEFAULT_THRESHOLD, compare_results
-from repro.bench.report import comparison_table, results_table, scenario_table
+from repro.bench.report import (
+    campaign_comparison_table,
+    campaign_plots,
+    campaign_table,
+    comparison_table,
+    results_table,
+    scenario_table,
+)
 from repro.bench.result import load_results
 from repro.bench.runner import run_scenario
 from repro.bench.scenario import GROUPS, registry
 from repro.viz.ascii import table
 
 DEFAULT_OUT = "benchmarks/out"
+
+#: ``campaign`` sub-actions; a bare spec path implies ``run``.
+CAMPAIGN_ACTIONS = ("run", "report", "compare")
 
 
 def _parse_override(text: str) -> Any:
@@ -88,6 +114,36 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="also render results from this file/directory")
     rep_p.add_argument("--scenarios-only", action="store_true",
                        help="only the scenario catalogue table")
+
+    camp_p = sub.add_parser(
+        "campaign",
+        help="scenario × params × seeds matrix across processes, with CIs")
+    camp_sub = camp_p.add_subparsers(dest="action", required=True)
+    crun = camp_sub.add_parser(
+        "run", help="execute a campaign spec (a bare SPEC path implies run)")
+    crun.add_argument("spec", help="campaign spec file (.toml or .json)")
+    crun.add_argument("--workers", type=int, default=1, metavar="N",
+                      help="spawn N worker processes (default 1 = in-process)")
+    crun.add_argument("--smoke", action="store_true",
+                      help="reduced parameters (CI-speed, same code paths)")
+    crun.add_argument("--out", default=DEFAULT_OUT,
+                      help=f"result directory (default: {DEFAULT_OUT})")
+    crun.add_argument("--no-write", action="store_true",
+                      help="do not write the aggregate envelope")
+    crun.add_argument("--no-checks", action="store_true",
+                      help="report failed checks without failing the run")
+    crun.add_argument("--quiet", action="store_true",
+                      help="suppress the per-point markdown tables")
+    crep = camp_sub.add_parser(
+        "report", help="render a campaign aggregate as markdown (+ plots)")
+    crep.add_argument("result", help="a campaign_*.json file or directory")
+    crep.add_argument("--plots", default=None, metavar="DIR",
+                      help="also write per-metric error-bar PNGs to DIR "
+                           "(soft matplotlib dependency)")
+    ccmp = camp_sub.add_parser(
+        "compare", help="CI-overlap gate between two campaign aggregates")
+    ccmp.add_argument("old", help="baseline campaign_*.json file or directory")
+    ccmp.add_argument("new", help="candidate campaign_*.json file or directory")
     return parser
 
 
@@ -180,30 +236,84 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return exit_code
 
 
-def _cmd_compare(args: argparse.Namespace) -> int:
-    comparison = compare_results(
-        load_results(args.old), load_results(args.new),
-        threshold=args.threshold, scenario=args.scenario)
-    print(comparison_table(comparison))
-    for name in comparison.mismatched:
-        print(f"  WARNING {name}: seed/params/smoke differ between the two "
-              f"runs — not compared (measure like with like)")
-    for drift in comparison.metric_drift:
-        print(f"  WARNING metric drift: {drift}")
+def _load_both_kinds(path: str) -> Tuple[Optional[Dict[str, Any]],
+                                         Optional[Dict[str, CampaignResult]]]:
+    """Load whatever *path* holds: plain ``bench_*.json`` results,
+    ``campaign_*.json`` aggregates, or (for a directory) both."""
+    if os.path.isfile(path):
+        with open(path) as fh:
+            schema = json.load(fh).get("schema")
+        if schema == CAMPAIGN_SCHEMA:
+            return None, load_campaigns(path)
+        return load_results(path), None
+    results = campaigns = None
+    try:
+        results = load_results(path)
+    except ValueError:
+        pass
+    try:
+        campaigns = load_campaigns(path)
+    except ValueError:
+        pass
+    if results is None and campaigns is None:
+        raise SystemExit(
+            f"no bench_*.json or campaign_*.json results under {path!r}")
+    return results, campaigns
+
+
+def _compare_campaign_sets(old: Dict[str, CampaignResult],
+                           new: Dict[str, CampaignResult]) -> Tuple[int, int]:
+    """Print the CI-overlap diff; return (metrics compared, regressions)."""
+    comparison = compare_campaigns(old, new)
+    print(campaign_comparison_table(comparison))
     regressions = comparison.regressions()
-    improvements = comparison.improvements()
-    print(f"\n{len(comparison.deltas)} metrics compared at "
-          f"±{100 * comparison.threshold:.0f}%: "
-          f"{len(regressions)} regression(s), "
-          f"{len(improvements)} improvement(s)")
+    print(f"\n{len(comparison.deltas)} aggregated metrics compared by CI "
+          f"overlap: {len(regressions)} regression(s), "
+          f"{len(comparison.improvements())} improvement(s)")
     for d in regressions:
         print(f"  REGRESSION {d.describe()}")
-    if not comparison.deltas:
+    return len(comparison.deltas), len(regressions)
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    old_results, old_campaigns = _load_both_kinds(args.old)
+    new_results, new_campaigns = _load_both_kinds(args.new)
+    compared = regressions_n = 0
+    if old_results is not None and new_results is not None:
+        comparison = compare_results(
+            old_results, new_results,
+            threshold=args.threshold, scenario=args.scenario)
+        print(comparison_table(comparison))
+        for name in comparison.mismatched:
+            print(f"  WARNING {name}: seed/params/smoke differ between the "
+                  f"two runs — not compared (measure like with like; for "
+                  f"cross-seed comparisons record a campaign aggregate "
+                  f"instead — `python -m repro.bench campaign`)")
+        for drift in comparison.metric_drift:
+            print(f"  WARNING metric drift: {drift}")
+        regressions = comparison.regressions()
+        improvements = comparison.improvements()
+        print(f"\n{len(comparison.deltas)} metrics compared at "
+              f"±{100 * comparison.threshold:.0f}%: "
+              f"{len(regressions)} regression(s), "
+              f"{len(improvements)} improvement(s)")
+        for d in regressions:
+            print(f"  REGRESSION {d.describe()}")
+        compared += len(comparison.deltas)
+        regressions_n += len(regressions)
+    if old_campaigns is not None and new_campaigns is not None:
+        # Campaign aggregates carry distributions, not points: the pair is
+        # gated on CI overlap per param point, so differing seed lists
+        # compare like-for-like instead of being skipped.
+        n_deltas, n_reg = _compare_campaign_sets(old_campaigns, new_campaigns)
+        compared += n_deltas
+        regressions_n += n_reg
+    if not compared:
         # A gate that measured nothing must not report a pass: typo'd
         # --scenario, disjoint result sets, or all pairs mismatched.
         print("ERROR: zero metrics were compared — nothing was gated")
         return 2
-    return 1 if regressions else 0
+    return 1 if regressions_n else 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -215,7 +325,81 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    try:
+        spec = load_campaign(args.spec)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot load campaign spec: {exc}")
+    if args.workers < 1:
+        raise SystemExit(f"--workers must be >= 1, got {args.workers}")
+    points = len(spec.points())
+    print(f"[campaign {spec.name}] {spec.scenario}: {points} param point(s) "
+          f"× {len(spec.seeds)} seed(s) = {len(spec)} repetition(s), "
+          f"{args.workers} worker(s)")
+
+    def progress(done: int, total: int, rep: Dict[str, Any]) -> None:
+        failed = sum(1 for c in rep["checks"] if not c.get("passed"))
+        status = "ok" if not failed else f"{failed} CHECK(S) FAILED"
+        print(f"  [{done}/{total}] seed={rep['seed']} {status} "
+              f"({rep['wall_time_s']:.2f}s)")
+
+    try:
+        result = run_campaign(spec, smoke=args.smoke, workers=args.workers,
+                              progress=progress)
+    except KeyError as exc:
+        raise SystemExit(exc.args[0])
+    if not args.no_write:
+        path = result.write(args.out)
+        print(f"[campaign {spec.name}] aggregate -> {path}")
+    if not args.quiet:
+        print()
+        print(campaign_table(result))
+    failed = result.failed_checks()
+    if failed:
+        for check in failed:
+            print(f"  FAILED {check['name']} at seeds {check['failed_seeds']}")
+        if not args.no_checks:
+            return 1
+    return 0
+
+
+def _cmd_campaign_report(args: argparse.Namespace) -> int:
+    campaigns = load_campaigns(args.result)
+    for name in sorted(campaigns):
+        result = campaigns[name]
+        print(campaign_table(result))
+        if args.plots:
+            written, skipped = campaign_plots(result, args.plots)
+            if skipped:
+                print(f"plots skipped: {skipped}")
+            for path in written:
+                print(f"plot: {path}")
+    return 0
+
+
+def _cmd_campaign_compare(args: argparse.Namespace) -> int:
+    compared, regressions = _compare_campaign_sets(
+        load_campaigns(args.old), load_campaigns(args.new))
+    if not compared:
+        print("ERROR: zero metrics were compared — nothing was gated")
+        return 2
+    return 1 if regressions else 0
+
+
+def _normalize_argv(argv: List[str]) -> List[str]:
+    """``campaign SPEC …`` is sugar for ``campaign run SPEC …`` — the
+    acceptance-path spelling ``python -m repro.bench campaign spec.toml
+    --workers 2`` works without naming the action."""
+    if not argv or argv[0] != "campaign":
+        return argv
+    rest = argv[1:]
+    if rest and rest[0] not in (*CAMPAIGN_ACTIONS, "-h", "--help"):
+        return ["campaign", "run", *rest]
+    return argv
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = _normalize_argv(sys.argv[1:] if argv is None else list(argv))
     args = _build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list()
@@ -225,6 +409,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_compare(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "campaign":
+        if args.action == "run":
+            return _cmd_campaign_run(args)
+        if args.action == "report":
+            return _cmd_campaign_report(args)
+        return _cmd_campaign_compare(args)
     raise SystemExit(f"unknown command {args.command!r}")  # pragma: no cover
 
 

@@ -8,14 +8,27 @@ from repro.metrics.durability import DurabilityTracker, ReplicationSample
 from repro.metrics.histogram import HopHistogram
 from repro.metrics.scheduling import SchedulingStats
 from repro.metrics.series import Series
-from repro.metrics.stats import LookupBatchStats, summarize_batch
+from repro.metrics.stats import (
+    LookupBatchStats,
+    SampleSummary,
+    bootstrap_interval,
+    student_t_ppf,
+    summarize_batch,
+    summarize_samples,
+    t_interval,
+)
 
 __all__ = [
     "DurabilityTracker",
     "HopHistogram",
     "LookupBatchStats",
     "ReplicationSample",
+    "SampleSummary",
     "SchedulingStats",
     "Series",
+    "bootstrap_interval",
+    "student_t_ppf",
     "summarize_batch",
+    "summarize_samples",
+    "t_interval",
 ]

@@ -1,0 +1,55 @@
+"""Satellite: cross-process determinism of campaign repetitions.
+
+A campaign worker is a *spawned* fresh interpreter — no inherited RNG
+state, no import-order luck.  This pins the acceptance property: the
+same (scenario, seed, params) run in-process and inside a spawned
+campaign worker produces **bit-identical** deterministic metrics and
+checks (only wall-clock fields — wall_time_s, unix_time, git_sha and
+throughput-style metrics — may differ).  ``scale_lookup --smoke`` is the
+subject, per the issue; a serial same-process campaign is pinned too, so
+a failure isolates to the process boundary rather than the aggregator.
+"""
+
+import pytest
+
+import repro.bench.scenarios  # noqa: F401  (populates the registry)
+from repro.bench import (
+    deterministic_view,
+    parse_campaign,
+    run_campaign,
+    run_scenario,
+)
+
+SPEC = {"campaign": {"name": "det", "scenario": "scale_lookup",
+                     "seeds": [42]}}
+
+
+@pytest.fixture(scope="module")
+def in_process_view():
+    result = run_scenario("scale_lookup", seed=42, smoke=True)
+    return deterministic_view(result.to_dict())
+
+
+def _campaign_repetition_view(workers):
+    campaign = run_campaign(parse_campaign(SPEC), smoke=True,
+                            workers=workers)
+    (point,) = campaign.points
+    (rep,) = point["repetitions"]
+    assert rep["seed"] == 42 and rep["smoke"] is True
+    return deterministic_view(rep)
+
+
+def test_spawned_worker_matches_in_process_run(in_process_view):
+    """The acceptance property: the per-repetition envelope coming back
+    from a spawn worker is bit-identical on every deterministic field to
+    a single-process ``run_scenario`` at the same seed."""
+    spawned = _campaign_repetition_view(workers=2)
+    assert spawned == in_process_view
+    # the view kept real content — this is not a vacuous {} == {}
+    assert spawned["metrics"] and spawned["checks"]
+    assert spawned["scenario"] == "scale_lookup"
+
+
+def test_serial_campaign_matches_in_process_run(in_process_view):
+    # control arm: same property without the process boundary
+    assert _campaign_repetition_view(workers=1) == in_process_view
