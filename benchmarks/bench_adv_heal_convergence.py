@@ -1,0 +1,11 @@
+"""Chaos bench: scheduled partition with exactly-once heal hooks and
+anti-entropy reconvergence.
+
+Thin registration: the scenario (parameter grids, metric schema, checks)
+lives in :mod:`repro.bench.scenarios.adversarial`; run it standalone with
+``python -m repro.bench run adv_heal_convergence``.
+"""
+
+from conftest import scenario_bench
+
+test_adv_heal_convergence = scenario_bench("adv_heal_convergence")

@@ -1,0 +1,10 @@
+"""Chaos bench: Gilbert-Elliott burst loss on every link vs lookups.
+
+Thin registration: the scenario (parameter grids, metric schema, checks)
+lives in :mod:`repro.bench.scenarios.adversarial`; run it standalone with
+``python -m repro.bench run adv_loss_burst_lookup``.
+"""
+
+from conftest import scenario_bench
+
+test_adv_loss_burst_lookup = scenario_bench("adv_loss_burst_lookup")

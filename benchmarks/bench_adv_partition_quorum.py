@@ -1,0 +1,10 @@
+"""Chaos bench: asymmetric subtree partition + heal, quorum durability.
+
+Thin registration: the scenario (parameter grids, metric schema, checks)
+lives in :mod:`repro.bench.scenarios.adversarial`; run it standalone with
+``python -m repro.bench run adv_partition_quorum``.
+"""
+
+from conftest import scenario_bench
+
+test_adv_partition_quorum = scenario_bench("adv_partition_quorum")

@@ -1,0 +1,10 @@
+"""Chaos bench: whole-rack correlated failures vs grid job completion.
+
+Thin registration: the scenario (parameter grids, metric schema, checks)
+lives in :mod:`repro.bench.scenarios.adversarial`; run it standalone with
+``python -m repro.bench run adv_rack_failure_jobs``.
+"""
+
+from conftest import scenario_bench
+
+test_adv_rack_failure_jobs = scenario_bench("adv_rack_failure_jobs")

@@ -1,0 +1,11 @@
+"""Chaos bench: straggler injection vs the lookup latency tail (p999,
+SLO-evaluated against an inline spec).
+
+Thin registration: the scenario (parameter grids, metric schema, checks)
+lives in :mod:`repro.bench.scenarios.adversarial`; run it standalone with
+``python -m repro.bench run adv_straggler_tail``.
+"""
+
+from conftest import scenario_bench
+
+test_adv_straggler_tail = scenario_bench("adv_straggler_tail")

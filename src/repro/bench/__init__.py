@@ -11,8 +11,9 @@ in ``src/repro`` outside this package may import it.
 
 Entry points:
 
-* ``python -m repro.bench list`` — the catalogue (23 scenarios,
-  including the ``scale_*`` 10k-node sweeps).
+* ``python -m repro.bench list`` — the catalogue (28 scenarios,
+  including the ``scale_*`` 10k-node sweeps and the ``adv_*`` chaos
+  suite).
 * ``python -m repro.bench run --smoke`` — CI's smoke pass: every
   scenario at reduced parameters, schema-valid JSON out.
 * ``python -m repro.bench compare benchmarks/out old/`` — regression

@@ -23,7 +23,7 @@ DIRECTIONS = ("higher", "lower", "neutral")
 
 #: Scenario groups, in catalogue order.
 GROUPS = ("figures", "ablations", "core", "baselines", "storage", "compute",
-          "scale")
+          "scale", "adversarial")
 
 
 @dataclass(frozen=True)

@@ -8,10 +8,14 @@ One module per family, mirroring the old ``benchmarks/`` taxonomy:
   overlay core, table-size bounds, NGSA cost, baselines, storage and
   compute subsystems;
 * :mod:`repro.bench.scenarios.scale` — the 10k-node scalability sweeps
-  (events/sec, hops vs log N) behind ``docs/performance.md``.
+  (events/sec, hops vs log N) behind ``docs/performance.md``;
+* :mod:`repro.bench.scenarios.adversarial` — chaos benches (partitions,
+  rack failures, stragglers, loss bursts) with survival-invariant
+  checks.
 """
 
 from repro.bench.scenarios import ablation as _ablation  # noqa: F401
+from repro.bench.scenarios import adversarial as _adversarial  # noqa: F401
 from repro.bench.scenarios import figures as _figures  # noqa: F401
 from repro.bench.scenarios import scale as _scale  # noqa: F401
 from repro.bench.scenarios import systems as _systems  # noqa: F401

@@ -14,6 +14,8 @@ the paper's evaluation uses):
   is reproducible bit-for-bit.
 * :mod:`repro.sim.failures` — the paper's 5%-step random-disconnect schedule
   plus generic Poisson churn processes.
+* :mod:`repro.sim.conditions` — adversarial conditions: geographic latency,
+  Gilbert-Elliott burst loss, healing partitions, straggler slowdowns.
 * :mod:`repro.sim.trace` — structured, filterable event tracing.
 """
 
@@ -28,6 +30,13 @@ from repro.sim.latency import (
 from repro.sim.network import Datagram, Network, Process
 from repro.sim.rng import RngRegistry
 from repro.sim.failures import FailureSchedule, PoissonChurn
+from repro.sim.conditions import (
+    GeoLatency,
+    GilbertElliott,
+    NetworkConditions,
+    Partition,
+    StragglerLatency,
+)
 from repro.sim.trace import TraceEvent, Tracer
 
 __all__ = [
@@ -36,13 +45,18 @@ __all__ = [
     "Event",
     "EventQueue",
     "FailureSchedule",
+    "GeoLatency",
+    "GilbertElliott",
     "LatencyModel",
     "LogNormalLatency",
     "Network",
+    "NetworkConditions",
+    "Partition",
     "PoissonChurn",
     "Process",
     "RngRegistry",
     "Simulator",
+    "StragglerLatency",
     "TraceEvent",
     "Tracer",
     "UniformLatency",

@@ -1,0 +1,460 @@
+"""Adversarial network conditions: geography, loss bursts, partitions,
+stragglers.
+
+The seed network models an *ideal* fabric: one latency distribution for
+every pair and independent per-datagram loss.  Real overlays — the
+Grid-5000 deployments the paper evaluates on — fail in correlated ways:
+latency depends on where two nodes sit, losses arrive in bursts on
+specific links, whole address sets get cut off and later reconnected,
+and individual machines run slow without being down.  This module
+supplies each of those as a pluggable model composing with the existing
+seams (:class:`~repro.sim.latency.LatencyModel`,
+``Network.partition_filter``, ``Network.loss_model``) so the default
+fabric — and therefore every pre-existing scenario — is bit-identical
+until a condition is explicitly installed.
+
+Split of responsibilities (the SPE topology/propagation split):
+
+* *Propagation* models live here and answer per-datagram questions —
+  :class:`GeoLatency` (coordinate-derived delay), :class:`GilbertElliott`
+  (two-state burst loss), :class:`StragglerLatency` (victim slowdown).
+* *Topology* decisions — which subtree is a rack, who becomes a victim —
+  live in :mod:`repro.workloads.adversarial`, which never imports sim.
+* :class:`NetworkConditions` is the composition root: it owns the
+  network's ``partition_filter``/``loss_model``/``latency`` slots for the
+  duration of an experiment and restores them on :meth:`detach`.
+
+Partitions are first-class values with exactly-once :attr:`cut_hooks` /
+:attr:`heal_hooks` mirroring ``Network.down_hooks/up_hooks``: cutting an
+already-active partition (or healing an inactive one) is a no-op, so a
+scheduled heal racing a manual one fires observers exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+from repro.sim.latency import LatencyModel
+from repro.sim.network import Network
+
+__all__ = [
+    "GeoLatency",
+    "StragglerLatency",
+    "GilbertElliott",
+    "Partition",
+    "NetworkConditions",
+]
+
+#: Mean distance between two uniform points in the unit square — the
+#: fallback pairwise-distance estimate before any address is known.
+_UNIT_SQUARE_MEAN_DIST = 0.5214
+
+
+class GeoLatency(LatencyModel):
+    """Coordinate-derived latency: ``base + per_unit * distance``.
+
+    Every address gets a deterministic position in the unit square,
+    derived by hashing ``(entropy, address)`` — *not* by drawing from a
+    shared stream — so positions are independent of the order in which
+    pairs are first sampled.  Addresses cluster around ``sites`` centers
+    (machine-room racks / Grid-5000 sites): an address's site is part of
+    the same hash, and ``spread`` controls how tightly members hug their
+    center.  Intra-site pairs therefore see near-``base`` delay while
+    cross-site pairs pay the center-to-center distance.
+
+    Parameters
+    ----------
+    rng:
+        Stream for entropy (one draw at construction) and per-datagram
+        jitter.  Pass a dedicated registry stream (PR-5 discipline).
+    base / per_unit:
+        Affine map from euclidean distance to seconds.
+    sites / spread:
+        Number of cluster centers and the normal scatter around them.
+    jitter:
+        Per-datagram multiplicative noise: delay is scaled by
+        ``1 + jitter * U[0, 1)``.  ``0.0`` samples nothing.
+    """
+
+    def __init__(
+        self,
+        rng: Optional[np.random.Generator] = None,
+        *,
+        base: float = 0.002,
+        per_unit: float = 0.08,
+        sites: int = 4,
+        spread: float = 0.04,
+        jitter: float = 0.1,
+    ) -> None:
+        if base < 0 or per_unit < 0:
+            raise ValueError(f"base/per_unit must be >= 0, got {base}/{per_unit}")
+        if sites < 1:
+            raise ValueError(f"sites must be >= 1, got {sites}")
+        if not 0.0 <= jitter:
+            raise ValueError(f"jitter must be >= 0, got {jitter}")
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.base = float(base)
+        self.per_unit = float(per_unit)
+        self.sites = int(sites)
+        self.spread = float(spread)
+        self.jitter = float(jitter)
+        # One draw fixes the whole geography; coordinates then come from
+        # per-address hashes so sampling order cannot perturb them.
+        self._entropy = int(self.rng.integers(0, 2**63))
+        centers_rng = np.random.default_rng((self._entropy, 0))
+        self._centers = centers_rng.random((self.sites, 2))
+        self._coords: Dict[int, np.ndarray] = {}
+        self._dist: Dict[Tuple[int, int], float] = {}
+
+    # ---------------------------------------------------------- geography
+    def coordinate(self, address: int) -> np.ndarray:
+        """The (cached) unit-square position of *address*."""
+        coord = self._coords.get(address)
+        if coord is None:
+            g = np.random.default_rng((self._entropy, 1, int(address)))
+            center = self._centers[int(g.integers(0, self.sites))]
+            coord = np.clip(center + g.normal(0.0, self.spread, 2), 0.0, 1.0)
+            self._coords[address] = coord
+        return coord
+
+    def site_of(self, address: int) -> int:
+        """The site (cluster-center index) *address* hashes to."""
+        g = np.random.default_rng((self._entropy, 1, int(address)))
+        return int(g.integers(0, self.sites))
+
+    def distance(self, src: int, dst: int) -> float:
+        key = (src, dst) if src <= dst else (dst, src)
+        d = self._dist.get(key)
+        if d is None:
+            delta = self.coordinate(src) - self.coordinate(dst)
+            d = self._dist[key] = float(np.hypot(delta[0], delta[1]))
+        return d
+
+    # ------------------------------------------------------------ sampling
+    def sample(self, src: int, dst: int) -> float:
+        delay = self.base + self.per_unit * self.distance(src, dst)
+        if self.jitter > 0.0:
+            delay *= 1.0 + self.jitter * float(self.rng.random())
+        return delay
+
+    def expected(self) -> float:
+        if len(self._coords) >= 2:
+            addrs = sorted(self._coords)[:64]
+            dists = [self.distance(a, b)
+                     for i, a in enumerate(addrs) for b in addrs[i + 1:]]
+            mean_dist = float(np.mean(dists))
+        else:
+            mean_dist = _UNIT_SQUARE_MEAN_DIST
+        return (self.base + self.per_unit * mean_dist) * (1.0 + self.jitter / 2.0)
+
+
+class StragglerLatency(LatencyModel):
+    """Multiplies delay on any link touching a victim address.
+
+    Wraps an arbitrary base model and scales its sample by ``factor``
+    when either endpoint is a victim.  The base model is always sampled
+    exactly once per call, so its RNG stream advances identically whether
+    or not the link is slow — a run with ``factor=1.0`` (or an empty
+    victim set) is bit-identical to the unwrapped network, which is what
+    lets a straggler experiment keep its control run honest.
+    """
+
+    def __init__(self, base: LatencyModel, victims: Iterable[int],
+                 factor: float) -> None:
+        if factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {factor}")
+        self.base = base
+        self.victims: FrozenSet[int] = frozenset(int(v) for v in victims)
+        self.factor = float(factor)
+        #: Datagrams that paid the slowdown (per-condition accounting).
+        self.slowed = 0
+
+    def sample(self, src: int, dst: int) -> float:
+        delay = self.base.sample(src, dst)
+        if src in self.victims or dst in self.victims:
+            self.slowed += 1
+            return delay * self.factor
+        return delay
+
+    def expected(self) -> float:
+        # Timeout sizing keeps the healthy expectation: stragglers are a
+        # condition the protocol must absorb, not one it may budget for.
+        return self.base.expected()
+
+
+class GilbertElliott:
+    """Two-state (good/bad) Markov burst-loss model, one chain per link.
+
+    In the *good* state datagrams drop with ``loss_good`` (usually 0);
+    in the *bad* state with ``loss_bad``.  Each observed datagram first
+    advances the link's chain (``p_enter_bad`` / ``p_exit_bad``), then
+    draws the loss decision — always exactly two draws from the dedicated
+    stream, so the draw count (and thus everything downstream of the
+    stream) is independent of the chain's path.
+
+    Plugs into ``Network.loss_model`` (called as a predicate; ``True``
+    drops, counted into ``dropped_loss``).
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        *,
+        loss_good: float = 0.0,
+        loss_bad: float = 0.5,
+        p_enter_bad: float = 0.02,
+        p_exit_bad: float = 0.2,
+    ) -> None:
+        for name, p in (("loss_good", loss_good), ("loss_bad", loss_bad),
+                        ("p_enter_bad", p_enter_bad), ("p_exit_bad", p_exit_bad)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        self.rng = rng
+        self.loss_good = float(loss_good)
+        self.loss_bad = float(loss_bad)
+        self.p_enter_bad = float(p_enter_bad)
+        self.p_exit_bad = float(p_exit_bad)
+        self._bad: Dict[Tuple[int, int], bool] = {}
+        self.packets = 0
+        self.drops = 0
+        self.bad_packets = 0
+        self.transitions = 0
+
+    def __call__(self, src: int, dst: int) -> bool:
+        self.packets += 1
+        key = (src, dst)
+        bad = self._bad.get(key, False)
+        flip = float(self.rng.random())
+        if bad:
+            if flip < self.p_exit_bad:
+                bad = False
+                self.transitions += 1
+        elif flip < self.p_enter_bad:
+            bad = True
+            self.transitions += 1
+        self._bad[key] = bad
+        p_loss = self.loss_bad if bad else self.loss_good
+        if bad:
+            self.bad_packets += 1
+        drop = float(self.rng.random()) < p_loss
+        if drop:
+            self.drops += 1
+        return drop
+
+    # ----------------------------------------------------------- analytics
+    def stationary_bad(self) -> float:
+        """Long-run fraction of time a link spends in the bad state."""
+        denom = self.p_enter_bad + self.p_exit_bad
+        return self.p_enter_bad / denom if denom > 0 else 0.0
+
+    def expected_loss(self) -> float:
+        """Stationary mean loss rate implied by the chain parameters."""
+        pi_bad = self.stationary_bad()
+        return pi_bad * self.loss_bad + (1.0 - pi_bad) * self.loss_good
+
+    def observed_loss(self) -> float:
+        return self.drops / self.packets if self.packets else 0.0
+
+
+@dataclass(frozen=True)
+class Partition:
+    """A cut between two address sets.
+
+    ``bidirectional=True`` blocks both directions; ``False`` models an
+    asymmetric failure — datagrams from ``a`` to ``b`` are dropped while
+    ``b`` can still reach ``a`` (the direction a one-way routing
+    blackhole takes).  Partitions are values: equality is by content, and
+    :class:`NetworkConditions` treats equal partitions as the same cut.
+    """
+
+    a: FrozenSet[int]
+    b: FrozenSet[int]
+    bidirectional: bool = True
+    name: str = ""
+
+    def blocks(self, src: int, dst: int) -> bool:
+        if src in self.a and dst in self.b:
+            return True
+        return self.bidirectional and src in self.b and dst in self.a
+
+
+class NetworkConditions:
+    """Composition root for adversarial conditions on one network.
+
+    Construction takes ownership of the network's ``partition_filter``
+    (composing with any pre-existing filter, which keeps blocking
+    underneath), and offers the ``loss_model`` / ``latency`` seams via
+    :meth:`set_loss_model` / :meth:`set_stragglers`.  :meth:`detach`
+    restores every seam it touched.
+
+    Cut/heal observers register on :attr:`cut_hooks` / :attr:`heal_hooks`
+    (``Callable[[Partition], None]``); both fire exactly once per
+    transition no matter how many times :meth:`cut`/:meth:`heal` are
+    called or how schedules overlap — the mirror of
+    ``Network.down_hooks/up_hooks`` for connectivity instead of liveness.
+    """
+
+    def __init__(self, network: Network) -> None:
+        self.network = network
+        self.sim: Simulator = network.sim
+        self._prev_filter = network.partition_filter
+        self._prev_loss_model = network.loss_model
+        # Bound-method access creates a fresh object each time; keep the
+        # installed one so detach() can recognise (and only then undo) it.
+        self._installed_filter = self._filter
+        network.partition_filter = self._installed_filter
+        self._active: Dict[Partition, None] = {}  # insertion-ordered set
+        self.cut_hooks: List[Callable[[Partition], None]] = []
+        self.heal_hooks: List[Callable[[Partition], None]] = []
+        self.cuts = 0
+        self.heals = 0
+        #: Datagrams blocked per partition name (per-condition accounting).
+        self.blocked: Dict[str, int] = {}
+        self._base_latency: Optional[LatencyModel] = None
+        self._detached = False
+
+    # ----------------------------------------------------------- partitions
+    def partition(self, a: Iterable[int], b: Optional[Iterable[int]] = None,
+                  *, bidirectional: bool = True, name: str = "") -> Partition:
+        """Build (but do not activate) a partition.
+
+        ``b=None`` isolates *a* from everyone else: the complement is
+        computed over the addresses registered *now*, so build the
+        partition when the membership you mean to cut exists.
+        """
+        side_a = frozenset(int(x) for x in a)
+        if b is None:
+            everyone = frozenset(p.address for p in self.network.processes())
+            side_b = everyone - side_a
+        else:
+            side_b = frozenset(int(x) for x in b)
+        if side_a & side_b:
+            raise ValueError(
+                f"partition sides overlap: {sorted(side_a & side_b)}")
+        if not name:
+            name = f"cut-{self.cuts + len(self._active)}"
+        return Partition(a=side_a, b=side_b, bidirectional=bidirectional,
+                         name=name)
+
+    def cut(self, partition: Partition) -> bool:
+        """Activate *partition*.  Returns False (and fires nothing) if it
+        is already active."""
+        self._check_attached()
+        if partition in self._active:
+            return False
+        self._active[partition] = None
+        self.cuts += 1
+        for hook in list(self.cut_hooks):
+            hook(partition)
+        return True
+
+    def heal(self, partition: Partition) -> bool:
+        """Deactivate *partition*.  Returns False (and fires nothing) if
+        it is not active."""
+        self._check_attached()
+        if partition not in self._active:
+            return False
+        del self._active[partition]
+        self.heals += 1
+        for hook in list(self.heal_hooks):
+            hook(partition)
+        return True
+
+    def heal_all(self) -> int:
+        """Heal every active partition; returns how many healed."""
+        healed = 0
+        for partition in list(self._active):
+            healed += bool(self.heal(partition))
+        return healed
+
+    def active(self) -> Tuple[Partition, ...]:
+        return tuple(self._active)
+
+    def schedule(self, start: float, duration: float, a: Iterable[int],
+                 b: Optional[Iterable[int]] = None, *,
+                 bidirectional: bool = True, name: str = ""
+                 ) -> Tuple[Partition, Event, Event]:
+        """Schedule a partition that heals: cut at absolute virtual time
+        *start*, heal at ``start + duration``.
+
+        Both events route through :meth:`cut`/:meth:`heal`, so a manual
+        heal before the scheduled one leaves the scheduled event a no-op
+        and hooks still fire exactly once per transition.  Returns the
+        partition and both events (cancel them to abort the schedule).
+        """
+        if duration <= 0:
+            raise ValueError(f"duration must be > 0, got {duration}")
+        partition = self.partition(a, b, bidirectional=bidirectional,
+                                   name=name)
+        tag = partition.name
+        cut_ev = self.sim.schedule_at(
+            start, lambda: self.cut(partition), label=f"conditions:cut:{tag}")
+        heal_ev = self.sim.schedule_at(
+            start + duration, lambda: self.heal(partition),
+            label=f"conditions:heal:{tag}")
+        return partition, cut_ev, heal_ev
+
+    def _filter(self, src: int, dst: int) -> bool:
+        for partition in self._active:
+            if partition.blocks(src, dst):
+                self.blocked[partition.name] = (
+                    self.blocked.get(partition.name, 0) + 1)
+                return True
+        prev = self._prev_filter
+        return prev is not None and prev(src, dst)
+
+    def blocked_total(self) -> int:
+        return sum(self.blocked.values())
+
+    # ------------------------------------------------------------ loss seam
+    def set_loss_model(self, model: Callable[[int, int], bool]) -> None:
+        """Install a per-link loss predicate (e.g. :class:`GilbertElliott`)
+        on the network's ``loss_model`` seam."""
+        self._check_attached()
+        self.network.loss_model = model
+
+    def clear_loss_model(self) -> None:
+        self.network.loss_model = self._prev_loss_model
+
+    # ------------------------------------------------------- straggler seam
+    def set_stragglers(self, victims: Iterable[int], factor: float
+                       ) -> StragglerLatency:
+        """Wrap the network's latency model so links touching *victims*
+        run ``factor`` times slower.  Re-calling replaces the victim set
+        (the original base model is kept, not re-wrapped)."""
+        self._check_attached()
+        base = self.network.latency
+        if isinstance(base, StragglerLatency):
+            base = base.base
+        if self._base_latency is None:
+            self._base_latency = base
+        wrapped = StragglerLatency(base, victims, factor)
+        self.network.latency = wrapped
+        return wrapped
+
+    def clear_stragglers(self) -> None:
+        if self._base_latency is not None:
+            self.network.latency = self._base_latency
+            self._base_latency = None
+
+    # ------------------------------------------------------------ lifecycle
+    def detach(self) -> None:
+        """Restore every seam this instance took over.  Active partitions
+        stop blocking (the filter is uninstalled) but hook counters and
+        accounting survive for post-run assertions."""
+        if self._detached:
+            return
+        if self.network.partition_filter is self._installed_filter:
+            self.network.partition_filter = self._prev_filter
+        self.clear_loss_model()
+        self.clear_stragglers()
+        self._detached = True
+
+    def _check_attached(self) -> None:
+        if self._detached:
+            raise RuntimeError("NetworkConditions is detached")

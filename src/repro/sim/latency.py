@@ -20,9 +20,14 @@ class LatencyModel(abc.ABC):
     def sample(self, src: int, dst: int) -> float:
         """Latency for one datagram from *src* to *dst*; must be > 0."""
 
+    @abc.abstractmethod
     def expected(self) -> float:
-        """Mean latency — used to size protocol timeouts."""
-        raise NotImplementedError
+        """Mean latency — used to size protocol timeouts.
+
+        Abstract on purpose: timeout sizing calls this for *every* model,
+        so a subclass without it would fail at runtime mid-experiment
+        rather than at construction.
+        """
 
 
 class ConstantLatency(LatencyModel):

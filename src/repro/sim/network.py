@@ -142,6 +142,12 @@ class Network:  # repro-lint: disable=RPR401 one instance per simulation; slotti
         self.stats = NetworkStats()
         #: Optional predicate; return True to block delivery (partitions).
         self.partition_filter: Optional[Callable[[int, int], bool]] = None
+        #: Optional per-link loss predicate (return True to drop, counted
+        #: as ``dropped_loss``) — the seam burst-loss models plug into
+        #: (:class:`~repro.sim.conditions.GilbertElliott`).  Evaluated
+        #: after the scalar ``loss`` draw so installing one never shifts
+        #: the scalar stream.
+        self.loss_model: Optional[Callable[[int, int], bool]] = None
         #: Optional hook observing every delivered datagram (tracing).
         self.delivery_hook: Optional[Callable[[Datagram], None]] = None
         #: Liveness transition hooks, fired exactly once per transition
@@ -225,6 +231,9 @@ class Network:  # repro-lint: disable=RPR401 one instance per simulation; slotti
             stats.dropped_partition += 1
             return
         if self.loss > 0.0 and self.rng.random() < self.loss:
+            stats.dropped_loss += 1
+            return
+        if self.loss_model is not None and self.loss_model(src, dst):
             stats.dropped_loss += 1
             return
 

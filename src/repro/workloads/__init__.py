@@ -1,6 +1,17 @@
 """Workload generators: lookup traffic, churn schedules, capacity mixes,
-mixed read/write storage streams, grid job arrivals and DAG batches."""
+mixed read/write storage streams, grid job arrivals and DAG batches, plus
+adversarial plans (rack failures, stragglers, partition cuts)."""
 
+from repro.workloads.adversarial import (
+    PartitionPlan,
+    RackFailurePlan,
+    StragglerPlan,
+    children_map,
+    rack_failure_plan,
+    straggler_plan,
+    subtree_members,
+    subtree_partition_plan,
+)
 from repro.workloads.capacities import (
     grid_cluster_mix,
     homogeneous_mix,
@@ -20,11 +31,19 @@ __all__ = [
     "ChurnSchedule",
     "JobWorkload",
     "LookupWorkload",
+    "PartitionPlan",
+    "RackFailurePlan",
     "StorageOp",
     "StorageRunStats",
     "StorageWorkload",
+    "StragglerPlan",
+    "children_map",
     "grid_cluster_mix",
     "homogeneous_mix",
     "measured_p2p_mix",
+    "rack_failure_plan",
     "run_storage_ops",
+    "straggler_plan",
+    "subtree_members",
+    "subtree_partition_plan",
 ]

@@ -27,7 +27,9 @@ from repro.bench.cli import main
 from repro.bench.result import validate_result_dict
 
 #: Every legacy bench_*.py as a registered scenario, plus the PR-5
-#: ``scale`` group (10k-node sweeps — see docs/performance.md).
+#: ``scale`` group (10k-node sweeps — see docs/performance.md) and the
+#: ``adversarial`` chaos group (partitions, rack failures, stragglers,
+#: loss bursts — see docs/benchmarks.md).
 EXPECTED_SCENARIOS = {
     "figure_a", "figure_b", "figure_c", "figure_d", "figure_e",
     "figure_f", "figure_g", "figure_h", "figure_i",
@@ -35,6 +37,8 @@ EXPECTED_SCENARIOS = {
     "ablation_maintenance",
     "core", "table_sizes", "ngsa_cost", "baselines", "storage", "compute",
     "scale_lookup", "scale_churn", "scale_quorum_rw", "scale_jobs",
+    "adv_partition_quorum", "adv_rack_failure_jobs", "adv_straggler_tail",
+    "adv_loss_burst_lookup", "adv_heal_convergence",
 }
 
 
@@ -42,7 +46,7 @@ EXPECTED_SCENARIOS = {
 
 def test_registry_lists_all_legacy_scenarios():
     assert set(registry.names()) == EXPECTED_SCENARIOS
-    assert len(registry) == 23
+    assert len(registry) == 28
 
 
 def test_every_scenario_declares_a_metrics_schema():

@@ -128,3 +128,141 @@ class TestPoissonChurn:
         net = Network(sim)
         with pytest.raises(ValueError):
             PoissonChurn(sim, net, [1], np.random.default_rng(0), mean_uptime=0.0)
+
+
+# ------------------------------------------------ property/edge coverage
+
+class TestFailureScheduleProperties:
+    def test_cumulative_fractions_exact_per_step(self):
+        """Step k has killed exactly min(k * per_step, max_killed) of the
+        *initial* population — fractions are over the initial set, never
+        the survivors."""
+        n = 80
+        sched = FailureSchedule(list(range(n)), np.random.default_rng(5),
+                                step_fraction=0.05, stop_fraction=0.05)
+        per_step = max(1, int(round(0.05 * n)))
+        max_killed = int(np.floor(0.95 * n))
+        killed = 0
+        for k, step in enumerate(sched.steps(), start=1):
+            killed += len(step.newly_failed)
+            assert killed == min(k * per_step, max_killed)
+            assert step.cumulative_failed_fraction == pytest.approx(
+                killed / n)
+            assert len(step.surviving) == n - killed
+
+    def test_population_not_divisible_by_step(self):
+        """A population where per-step rounding matters: the last step is
+        short, fractions stay exact and monotone."""
+        sched = FailureSchedule(list(range(37)), np.random.default_rng(6),
+                                step_fraction=0.10, stop_fraction=0.10)
+        steps = list(sched.steps())
+        sizes = [len(s.newly_failed) for s in steps]
+        assert sum(sizes) == int(np.floor(0.9 * 37))
+        assert all(s == sizes[0] for s in sizes[:-1])
+        assert sizes[-1] <= sizes[0]
+        fracs = [s.cumulative_failed_fraction for s in steps]
+        assert fracs == sorted(set(fracs))
+
+    def test_single_node_population(self):
+        sched = FailureSchedule([7], np.random.default_rng(0),
+                                stop_fraction=0.0)
+        steps = list(sched.steps())
+        assert len(steps) == 1
+        assert steps[0].newly_failed == (7,)
+        assert steps[0].surviving == ()
+        assert steps[0].cumulative_failed_fraction == 1.0
+
+    def test_stop_fraction_zero_kills_everyone(self):
+        pop = list(range(40))
+        sched = FailureSchedule(pop, np.random.default_rng(1),
+                                stop_fraction=0.0)
+        killed = [v for s in sched.steps() for v in s.newly_failed]
+        assert sorted(killed) == pop
+
+    def test_steps_reiterable_and_identical(self):
+        """steps() is a fresh iterator over a permutation drawn up front:
+        consuming it twice yields the same schedule."""
+        sched = FailureSchedule(list(range(30)), np.random.default_rng(2))
+        first = [s.newly_failed for s in sched.steps()]
+        second = [s.newly_failed for s in sched.steps()]
+        assert first == second
+
+    def test_apply_step_is_idempotent_on_network(self):
+        sim = Simulator()
+        net = Network(sim, latency=ConstantLatency(0.01))
+        for i in range(10):
+            net.register(Dummy(i))
+        sched = FailureSchedule(list(range(10)), np.random.default_rng(3))
+        step = next(iter(sched.steps()))
+        sched.apply_step(net, step)
+        epoch = net.liveness_epoch
+        sched.apply_step(net, step)  # re-applying changes nothing
+        assert net.liveness_epoch == epoch
+
+
+class TestPoissonChurnProperties:
+    def _network(self, n=25):
+        sim = Simulator()
+        net = Network(sim, latency=ConstantLatency(0.01))
+        for i in range(n):
+            net.register(Dummy(i))
+        return sim, net
+
+    def test_never_double_kills_or_double_revives(self):
+        """Every leave hits an up node and every rejoin a down node: the
+        network's exactly-once liveness hooks see one transition per
+        churn event, with no double-kill/double-revive in between."""
+        sim, net = self._network()
+        transitions = {i: [] for i in range(25)}
+        net.down_hooks.append(lambda a: transitions[a].append("down"))
+        net.up_hooks.append(lambda a: transitions[a].append("up"))
+        churn = PoissonChurn(sim, net, list(range(25)),
+                             np.random.default_rng(8),
+                             mean_uptime=4.0, mean_downtime=2.0)
+        churn.start()
+        sim.run(until=60.0)
+        for addr, seq in transitions.items():
+            for prev, nxt in zip(seq, seq[1:]):
+                assert prev != nxt, f"node {addr}: consecutive {prev}"
+        total = sum(len(s) for s in transitions.values())
+        assert total == churn.leave_count + churn.rejoin_count
+
+    def test_leave_counts_match_down_transitions_exactly(self):
+        sim, net = self._network()
+        downs, ups = [], []
+        net.down_hooks.append(downs.append)
+        net.up_hooks.append(ups.append)
+        churn = PoissonChurn(sim, net, list(range(25)),
+                             np.random.default_rng(9),
+                             mean_uptime=3.0, mean_downtime=3.0)
+        churn.start()
+        sim.run(until=40.0)
+        assert len(downs) == churn.leave_count > 0
+        assert len(ups) == churn.rejoin_count > 0
+
+    def test_externally_downed_node_not_double_killed(self):
+        """A node someone else crashed first: the churn leave is skipped
+        (is_up guard), so no second down transition fires."""
+        sim, net = self._network(n=1)
+        downs = []
+        net.down_hooks.append(downs.append)
+        churn = PoissonChurn(sim, net, [0], np.random.default_rng(10),
+                             mean_uptime=1.0, mean_downtime=1000.0)
+        churn.start()
+        net.set_down(0)  # external crash before the churn leave fires
+        sim.run(until=20.0)
+        assert churn.leave_count == 0
+        assert downs == [0]
+
+    def test_empty_address_list_is_inert(self):
+        sim, net = self._network()
+        churn = PoissonChurn(sim, net, [], np.random.default_rng(0))
+        churn.start()
+        sim.run(until=50.0)
+        assert churn.leave_count == churn.rejoin_count == 0
+
+    def test_mean_downtime_validation(self):
+        sim, net = self._network()
+        with pytest.raises(ValueError):
+            PoissonChurn(sim, net, [0], np.random.default_rng(0),
+                         mean_downtime=0.0)
